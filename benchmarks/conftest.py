@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one paper experiment (scaled down so the whole suite
+finishes in CI time), prints the resulting table — the same rows/series the
+paper reports — and records the wall-clock cost through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run ``runner(**kwargs)`` once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), iterations=1, rounds=1)
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def run_bench():
+    return run_experiment

@@ -1,0 +1,21 @@
+"""Figure 2 benchmark: HL vs Tendermint vs IBFT vs Raft."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02_bft_comparison
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(duration=4.0, clients=6, client_rate_tps=300.0,
+                        network_sizes=(4, 7, 13))
+
+
+def test_fig02_bft_comparison(benchmark, run_bench):
+    result = run_bench(benchmark, fig02_bft_comparison.run, scale=SCALE,
+                       client_counts=(1, 4), client_n=7)
+    by_protocol = {}
+    for row in result.rows:
+        if row["panel"] == "varying_n" and row["n"] == 13:
+            by_protocol[row["protocol"]] = row["throughput_tps"]
+    # Paper shape: pipelined PBFT (HL) outperforms the lockstep baselines at scale.
+    assert by_protocol["HL"] >= by_protocol["Raft"]
+    assert by_protocol["HL"] >= by_protocol["IBFT"]

@@ -1,0 +1,22 @@
+"""Figure 8 benchmark: AHL+ vs HL/AHL/AHLR on the cluster, with and without failures."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_ahl_cluster
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(duration=4.0, clients=8, client_rate_tps=400.0,
+                        network_sizes=(7, 19, 43), queue_capacity=300)
+
+
+def test_fig08_ahl_cluster(benchmark, run_bench):
+    result = run_bench(benchmark, fig08_ahl_cluster.run, scale=SCALE,
+                       failure_counts=(1, 3), high_load_rate=600.0)
+    no_failures = {(row["protocol"], row["n"]): row["throughput_tps"]
+                   for row in result.rows if row["panel"] == "no_failures"}
+    # Paper shape: at the largest N, AHL+ sustains markedly more throughput than HL
+    # (HL heads towards livelock as consensus messages are dropped).
+    largest = max(n for (_, n) in no_failures)
+    assert no_failures[("AHL+", largest)] > no_failures[("HL", largest)]
+    # All protocols deliver comparable throughput at small N.
+    assert no_failures[("AHL+", 7)] > 0 and no_failures[("HL", 7)] > 0

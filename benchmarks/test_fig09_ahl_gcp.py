@@ -1,0 +1,16 @@
+"""Figure 9 benchmark: AHL+ vs HL/AHL/AHLR over the Table-3 WAN (4 and 8 regions)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_ahl_gcp
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(duration=4.0, clients=6, client_rate_tps=300.0,
+                        network_sizes=(7, 19), queue_capacity=300)
+
+
+def test_fig09_ahl_gcp(benchmark, run_bench):
+    result = run_bench(benchmark, fig09_ahl_gcp.run, scale=SCALE, region_counts=(4, 8),
+                       high_load_rate=500.0)
+    ahl_plus = [row["throughput_tps"] for row in result.rows if row["protocol"] == "AHL+"]
+    assert all(value > 0 for value in ahl_plus)

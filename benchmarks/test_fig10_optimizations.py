@@ -1,0 +1,17 @@
+"""Figure 10 benchmark: ablation of the AHL+ optimisations."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_optimizations
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(duration=4.0, clients=6, client_rate_tps=400.0, queue_capacity=300)
+
+
+def test_fig10_optimizations(benchmark, run_bench):
+    result = run_bench(benchmark, fig10_optimizations.run, scale=SCALE,
+                       network_sizes=(7, 19), failure_counts=(2,), high_load_rate=600.0)
+    no_failures = {(row["variant"], row["n"]): row["throughput_tps"]
+                   for row in result.rows if row["panel"] == "no_failures"}
+    # The full AHL+ (op1 + op2) should not be slower than plain AHL at N = 19.
+    assert no_failures[("AHL + op1,2 (AHL+)", 19)] >= 0.8 * no_failures[("AHL", 19)]

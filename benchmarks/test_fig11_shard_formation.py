@@ -1,0 +1,20 @@
+"""Figure 11 benchmark: committee sizes and shard-formation running time."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_shard_formation
+
+
+def test_fig11_shard_formation(benchmark, run_bench):
+    result = run_bench(benchmark, fig11_shard_formation.run,
+                       byzantine_fractions=(0.05, 0.15, 0.25),
+                       network_sizes=(32, 64, 128, 256), simulate_up_to=48)
+    sizes = {(row["series"], row["x"]): row["value"] for row in result.rows
+             if row["panel"] == "committee_size"}
+    assert sizes[("Ours (2f+1)", 0.25)] < sizes[("OmniLedger (3f+1)", 0.25)]
+    times = [row for row in result.rows if row["panel"] == "formation_time"]
+    for n in (128, 256):
+        ours = next(r["value"] for r in times if r["x"] == n and r["series"] == "Ours-cluster")
+        randhound = next(r["value"] for r in times
+                         if r["x"] == n and r["series"] == "RandHound-cluster")
+        assert ours < randhound

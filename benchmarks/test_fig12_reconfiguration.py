@@ -1,0 +1,16 @@
+"""Figure 12 benchmark: throughput during shard reconfiguration."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_reconfiguration
+
+
+def test_fig12_reconfiguration(benchmark, run_bench):
+    result = run_bench(benchmark, fig12_reconfiguration.run,
+                       duration=45.0, committee_size=5, num_shards=2,
+                       clients=4, outstanding=10, state_transfer=6.0)
+    averages = {row["strategy"]: row["throughput_tps"] for row in result.rows
+                if row["time_s"] is None}
+    # Paper shape: swap-all hurts throughput; batched swapping tracks the baseline.
+    assert averages["swap_all"] <= averages["no_reshard"]
+    assert averages["swap_log_n"] >= averages["swap_all"]

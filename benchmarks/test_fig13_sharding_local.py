@@ -1,0 +1,23 @@
+"""Figure 13 benchmark: sharded Smallbank throughput and abort rate vs skew."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_sharding_local
+
+
+def test_fig13_sharding_local(benchmark, run_bench):
+    result = run_bench(benchmark, fig13_sharding_local.run,
+                       network_sizes=(6, 12), zipf_values=(0.0, 1.49),
+                       zipf_network_size=9, duration=15.0, clients_per_shard=3,
+                       outstanding=12, num_keys=600)
+    throughput_rows = [row for row in result.rows if row["panel"] == "throughput"]
+    for series in {row["series"] for row in throughput_rows}:
+        points = sorted((row["x"], row["throughput_tps"]) for row in throughput_rows
+                        if row["series"] == series)
+        # Paper shape: more nodes -> more shards -> more throughput.  At this
+        # scaled-down size the runs are latency-bound, so allow some slack.
+        assert points[-1][1] >= points[0][1] * 0.6
+    aborts = sorted((row["x"], row["abort_rate"]) for row in result.rows
+                    if row["panel"] == "abort_rate")
+    # Paper shape: abort rate grows with the Zipf coefficient.
+    assert aborts[-1][1] >= aborts[0][1]

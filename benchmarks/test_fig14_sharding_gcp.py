@@ -1,0 +1,20 @@
+"""Figure 14 benchmark: large-scale sharded throughput (analytical model + DES check)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14_sharding_gcp
+
+
+def test_fig14_sharding_gcp(benchmark, run_bench):
+    result = run_bench(benchmark, fig14_sharding_gcp.run,
+                       network_sizes=(162, 324, 486, 648, 810, 972),
+                       des_validation_shards=2, des_committee_size=4, des_duration=10.0)
+    for adversary in (0.125, 0.25):
+        series = sorted((row["n_total"], row["throughput_tps"]) for row in result.rows
+                        if row["source"] == "model" and row["adversary"] == adversary)
+        values = [value for _, value in series]
+        assert values == sorted(values)          # linear scaling with shards
+    at_972 = {row["adversary"]: row["throughput_tps"] for row in result.rows
+              if row["source"] == "model" and row["n_total"] == 972}
+    assert at_972[0.125] > 2.5 * at_972[0.25]    # 27-node committees beat 79-node ones
+    assert at_972[0.125] > 2000                  # thousands of tps at the largest scale

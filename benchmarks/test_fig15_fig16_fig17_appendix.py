@@ -1,0 +1,50 @@
+"""Benchmarks for Figures 15-17 (latency, view changes, cost breakdown) and Appendix B."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    appendix_b_cross_shard,
+    fig15_latency,
+    fig16_view_changes,
+    fig17_cost_breakdown,
+)
+from repro.experiments.common import ExperimentScale
+
+# The view-change timeout must fit inside the (short) benchmark duration so
+# that Byzantine-leader runs actually exhibit their view changes.
+SCALE = ExperimentScale(duration=4.0, clients=4, client_rate_tps=200.0,
+                        network_sizes=(7, 19), view_change_timeout=1.0)
+
+
+def test_fig15_latency(benchmark, run_bench):
+    result = run_bench(benchmark, fig15_latency.run, scale=SCALE,
+                       environments=("cluster", "gcp"))
+    for protocol in ("HL", "AHL+"):
+        cluster_lat = [row["avg_latency_s"] for row in result.rows
+                       if row["environment"] == "cluster" and row["protocol"] == protocol]
+        gcp_lat = [row["avg_latency_s"] for row in result.rows
+                   if row["environment"] == "gcp" and row["protocol"] == protocol]
+        # WAN latencies dominate on GCP.
+        assert max(gcp_lat) >= max(cluster_lat)
+
+
+def test_fig16_view_changes(benchmark, run_bench):
+    result = run_bench(benchmark, fig16_view_changes.run, scale=SCALE,
+                       failure_counts=(1, 2), high_load_rate=400.0)
+    worst = [row for row in result.rows if row["panel"] == "worst_case"]
+    # Byzantine (silent) leaders force at least one view change somewhere.
+    assert any(row["view_changes"] > 0 for row in worst)
+
+
+def test_fig17_cost_breakdown(benchmark, run_bench):
+    result = run_bench(benchmark, fig17_cost_breakdown.run, scale=SCALE)
+    for row in result.rows:
+        if row["execution_cost_s"]:
+            # Consensus dominates execution (paper: by roughly an order of magnitude).
+            assert row["consensus_cost_s"] > row["execution_cost_s"]
+
+
+def test_appendix_b_cross_shard(benchmark, run_bench):
+    result = run_bench(benchmark, appendix_b_cross_shard.run, samples=1000)
+    for row in result.rows:
+        assert abs(row["analytic_probability"] - row["empirical_probability"]) < 0.1

@@ -1,0 +1,38 @@
+"""Benchmarks for Figure 18 (KVStore vs Smallbank) and Figures 19-20 (client scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig18_kvstore_vs_smallbank, fig19_clients_gcp, fig20_clients_cluster
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(duration=3.0, clients=4, client_rate_tps=200.0)
+
+
+def test_fig18_kvstore_vs_smallbank(benchmark, run_bench):
+    result = run_bench(benchmark, fig18_kvstore_vs_smallbank.run,
+                       network_sizes=(6, 12), duration=12.0, clients_per_shard=3,
+                       outstanding=10, num_keys=600)
+    assert {row["benchmark"] for row in result.rows} == {"smallbank", "kvstore"}
+    assert all(row["throughput_tps"] > 0 for row in result.rows)
+
+
+def test_fig19_clients_gcp(benchmark, run_bench):
+    result = run_bench(benchmark, fig19_clients_gcp.run, scale=SCALE,
+                       client_counts=(1, 4, 16), request_rates=(256.0, 1024.0), n=7)
+    # At the higher aggregate rate, throughput should be at least as high.
+    for protocol in ("HL", "AHL+"):
+        low = max(row["throughput_tps"] for row in result.rows
+                  if row["protocol"] == protocol and row["request_rate"] == 256.0)
+        high = max(row["throughput_tps"] for row in result.rows
+                   if row["protocol"] == protocol and row["request_rate"] == 1024.0)
+        assert high >= low * 0.9
+
+
+def test_fig20_clients_cluster(benchmark, run_bench):
+    result = run_bench(benchmark, fig20_clients_cluster.run, scale=SCALE,
+                       client_counts=(1, 4, 8), n=7)
+    for benchmark_name in ("smallbank", "kvstore"):
+        series = [row["throughput_tps"] for row in result.rows
+                  if row["benchmark"] == benchmark_name and row["protocol"] == "AHL+"]
+        # Throughput grows (or saturates) with more clients.
+        assert series[-1] >= series[0] * 0.9

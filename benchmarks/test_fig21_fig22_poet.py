@@ -1,0 +1,30 @@
+"""Benchmarks for Figures 21 and 22: PoET vs PoET+ throughput and stale block rate."""
+
+from __future__ import annotations
+
+from repro.experiments import fig21_poet_throughput, fig22_poet_stale_rate
+
+
+def test_fig21_poet_throughput(benchmark, run_bench):
+    result = run_bench(benchmark, fig21_poet_throughput.run,
+                       network_sizes=(2, 8, 32), block_sizes_mb=(2.0, 8.0),
+                       wait_scale=240.0)
+    # At the largest N, PoET+ keeps the stale rate below PoET for each block size.
+    for block_size in (2.0, 8.0):
+        poet = next(row for row in result.rows
+                    if row["protocol"] == "PoET" and row["n"] == 32
+                    and row["block_size_mb"] == block_size)
+        poet_plus = next(row for row in result.rows
+                         if row["protocol"] == "PoET+" and row["n"] == 32
+                         and row["block_size_mb"] == block_size)
+        assert poet_plus["stale_rate"] <= poet["stale_rate"] + 0.05
+
+
+def test_fig22_poet_stale_rate(benchmark, run_bench):
+    result = run_bench(benchmark, fig22_poet_stale_rate.run,
+                       network_sizes=(2, 8, 32), block_sizes_mb=(8.0,),
+                       wait_scale=240.0)
+    poet_series = sorted((row["n"], row["stale_rate"]) for row in result.rows
+                         if row["protocol"] == "PoET")
+    # Stale rate grows with the network size for plain PoET.
+    assert poet_series[-1][1] >= poet_series[0][1]

@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Tables 1-3 of the paper."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_comparison, table2_enclave_costs, table3_region_latency
+
+
+def test_table1_comparison(benchmark, run_bench):
+    result = run_bench(benchmark, table1_comparison.run)
+    assert len(result.rows) == 4
+
+
+def test_table2_enclave_costs(benchmark, run_bench):
+    result = run_bench(benchmark, table2_enclave_costs.run, repetitions=100)
+    assert all(abs(row["model_us"] - row["paper_us"]) / row["paper_us"] < 0.01
+               for row in result.rows)
+
+
+def test_table3_region_latency(benchmark, run_bench):
+    result = run_bench(benchmark, table3_region_latency.run)
+    assert len(result.rows) == 64

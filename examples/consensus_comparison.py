@@ -1,0 +1,41 @@
+"""Compare the consensus protocols inside a single committee (Figures 2 and 8).
+
+Runs HL (plain PBFT), AHL, AHL+, AHLR and the lockstep baselines on the same
+workload and committee size, and prints throughput, latency, view changes and
+fault tolerance.
+
+Run with::
+
+    python examples/consensus_comparison.py [committee_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.consensus import PROTOCOLS, build_cluster
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    duration = 8.0
+    print(f"committee size N = {n}, open-loop load, {duration:.0f} s of simulated time\n")
+    header = f"{'protocol':12s} {'f':>3s} {'tps':>9s} {'latency':>9s} {'view-chg':>9s} {'msgs':>10s}"
+    print(header)
+    print("-" * len(header))
+    for protocol in PROTOCOLS:
+        cluster = build_cluster(protocol, n, config_overrides={
+            "batch_size": 100, "view_change_timeout": 5.0,
+        })
+        cluster.add_open_loop_clients(6, rate_tps=300, batch_size=10)
+        result = cluster.run(duration)
+        observer = cluster.honest_observer()
+        print(f"{protocol:12s} {observer.f:>3d} {result.throughput_tps:>9.1f} "
+              f"{result.avg_latency:>9.3f} {result.view_changes:>9d} "
+              f"{result.messages_sent:>10d}")
+    print("\nNote: AHL-family protocols tolerate f = (N-1)/2 faults versus (N-1)/3 for HL,")
+    print("which is what lets the sharded system use 80-node committees instead of 600+.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.randhound` — a cost model and protocol-round
+  simulation of RandHound, OmniLedger's distributed randomness protocol,
+  used by the Figure-11 comparison.
+* :mod:`repro.baselines.omniledger_sizing` — committee sizing under the
+  classic ``3f + 1`` failure model (OmniLedger / Elastico), for the
+  committee-size comparison in Figure 11 (left).
+"""
+
+from repro.baselines.randhound import RandHoundConfig, randhound_running_time, simulate_randhound
+from repro.baselines.omniledger_sizing import omniledger_committee_size
+
+__all__ = [
+    "RandHoundConfig",
+    "randhound_running_time",
+    "simulate_randhound",
+    "omniledger_committee_size",
+]

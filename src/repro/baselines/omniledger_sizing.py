@@ -1,0 +1,30 @@
+"""Committee sizing under the classic 3f+1 failure model (OmniLedger / Elastico).
+
+OmniLedger and Elastico run plain BFT inside each committee, so a committee
+of size ``n`` only tolerates ``(n - 1) / 3`` Byzantine members and needs 600+
+members to stay safe against a 25% adversary (Section 5.2).  This is simply
+:func:`repro.sharding.sizing.minimum_committee_size` with resilience 1/3,
+wrapped for convenience in the Figure-11 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.sharding.sizing import DEFAULT_FAILURE_TARGET, minimum_committee_size
+
+
+def omniledger_committee_size(network_size: int, byzantine_fraction: float,
+                              failure_target: float = DEFAULT_FAILURE_TARGET) -> int:
+    """Minimum committee size for OmniLedger-style (1/3-resilient) committees."""
+    return minimum_committee_size(
+        network_size, byzantine_fraction, resilience=1.0 / 3.0,
+        failure_target=failure_target,
+    )
+
+
+def ours_committee_size(network_size: int, byzantine_fraction: float,
+                        failure_target: float = DEFAULT_FAILURE_TARGET) -> int:
+    """Minimum committee size for AHL+-backed (1/2-resilient) committees."""
+    return minimum_committee_size(
+        network_size, byzantine_fraction, resilience=1.0 / 2.0,
+        failure_target=failure_target,
+    )

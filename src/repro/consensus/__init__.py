@@ -1,0 +1,67 @@
+"""Consensus protocols evaluated in the paper.
+
+* :mod:`repro.consensus.pbft` — PBFT as implemented in Hyperledger v0.6
+  ("HL" in the figures): ``N = 3f + 1``, quorum ``2f + 1``, pipelined.
+* :mod:`repro.consensus.ahl` — Attested HyperLedger: PBFT plus the TEE
+  attested append-only log, which removes equivocation and allows
+  ``N = 2f + 1`` with quorum ``f + 1``.
+* :mod:`repro.consensus.ahl_plus` — AHL plus the two communication
+  optimisations (separate message queues; requests forwarded to the leader
+  instead of broadcast).
+* :mod:`repro.consensus.ahlr` — AHL Relay: the leader's enclave verifies and
+  aggregates quorum messages, reducing communication to ``O(N)``.
+* :mod:`repro.consensus.tendermint`, :mod:`repro.consensus.ibft`,
+  :mod:`repro.consensus.raft` — the lockstep baselines of Figure 2.
+* :mod:`repro.consensus.poet` — PoET and PoET+ (Nakamoto-style, Section 4.2).
+* :mod:`repro.consensus.byzantine` — attack strategies used by the
+  "throughput under failures" experiments.
+"""
+
+from repro.consensus.base import ConsensusConfig, ConsensusReplica, CommitEvent
+from repro.consensus.messages import (
+    ClientRequest,
+    PrePrepare,
+    Prepare,
+    Commit,
+    ViewChange,
+    NewView,
+    AggregateCertificate,
+)
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.ahl import AhlReplica
+from repro.consensus.ahl_plus import AhlPlusReplica
+from repro.consensus.ahlr import AhlrReplica
+from repro.consensus.tendermint import TendermintReplica
+from repro.consensus.ibft import IbftReplica
+from repro.consensus.raft import RaftReplica
+from repro.consensus.poet import PoetNode, PoetNetworkConfig
+from repro.consensus.byzantine import ByzantineStrategy, SilentLeader, EquivocatingAttacker
+from repro.consensus.cluster import ConsensusCluster, build_cluster, PROTOCOLS
+
+__all__ = [
+    "ConsensusConfig",
+    "ConsensusReplica",
+    "CommitEvent",
+    "ClientRequest",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "ViewChange",
+    "NewView",
+    "AggregateCertificate",
+    "PbftReplica",
+    "AhlReplica",
+    "AhlPlusReplica",
+    "AhlrReplica",
+    "TendermintReplica",
+    "IbftReplica",
+    "RaftReplica",
+    "PoetNode",
+    "PoetNetworkConfig",
+    "ByzantineStrategy",
+    "SilentLeader",
+    "EquivocatingAttacker",
+    "ConsensusCluster",
+    "build_cluster",
+    "PROTOCOLS",
+]

@@ -1,0 +1,760 @@
+"""Shared machinery for the PBFT-family consensus replicas.
+
+The paper's HL / AHL / AHL+ / AHLR protocols differ only in quorum size,
+attestation requirements and communication pattern; everything else —
+batching, pipelining, view changes, execution — is common and lives in
+:class:`ConsensusReplica`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.costs import DEFAULT_COSTS, OperationCosts
+from repro.errors import ConfigurationError
+from repro.ledger.block import Block, build_block
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.chaincode import ChaincodeRegistry, ExecutionEngine
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction, TransactionReceipt
+from repro.sim.monitor import Monitor
+from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
+from repro.sim.node import SimProcess
+from repro.sim.simulator import Simulator
+from repro.consensus import messages as m
+
+
+@dataclass
+class ConsensusConfig:
+    """Configuration shared by the PBFT-family replicas.
+
+    The flags map directly onto the paper's design points:
+
+    * ``use_attested_log`` — AHL/AHL+/AHLR carry TEE attestations on every
+      consensus message, which halves the replication requirement
+      (``N = 2f + 1``, quorum ``f + 1``).
+    * ``separate_queues`` — optimisation 1 of AHL+ (request and consensus
+      messages use separate inbound queues).
+    * ``broadcast_requests`` — the original PBFT/Hyperledger behaviour; AHL+
+      turns this off (optimisation 2: forward the request to the leader only).
+    * ``leader_aggregation`` — optimisation 3 (AHLR): replicas send their
+      prepare/commit to the leader, whose enclave verifies and aggregates
+      them into a single certificate.
+    """
+
+    protocol: str = "pbft"
+    batch_size: int = 100
+    pipeline_depth: int = 8
+    view_change_timeout: float = 10.0
+    queue_capacity: Optional[int] = 2000
+    separate_queues: bool = False
+    broadcast_requests: bool = True
+    use_attested_log: bool = False
+    leader_aggregation: bool = False
+    costs: OperationCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    consensus_message_bytes: int = 512
+    transaction_bytes: int = 512
+    verify_client_signatures: bool = True
+    max_blocks: Optional[int] = None
+    #: Fixed leader-side cost per proposed block (block assembly, ledger write,
+    #: gossip to the ordering service) — calibrated against Hyperledger v0.6.
+    proposal_overhead: float = 0.025
+    #: Minimum spacing between consecutive blocks (lockstep protocols such as
+    #: Tendermint enforce a commit timeout of roughly one second per height).
+    min_block_interval: float = 0.0
+    #: Blocks between PBFT checkpoint broadcasts; a quorum of checkpoints lets
+    #: replicas that missed commit messages catch up (stable checkpoints).
+    checkpoint_interval: int = 10
+
+    def fault_tolerance(self, n: int) -> int:
+        """Number of Byzantine faults an ``n``-node committee tolerates."""
+        if self.use_attested_log:
+            return (n - 1) // 2
+        return (n - 1) // 3
+
+    def quorum_size(self, n: int) -> int:
+        """Messages (including the replica's own) needed to progress a phase."""
+        f = self.fault_tolerance(n)
+        if self.use_attested_log:
+            return f + 1
+        return 2 * f + 1
+
+    @staticmethod
+    def committee_size_for(f: int, use_attested_log: bool) -> int:
+        """Smallest committee tolerating ``f`` faults under the given failure model."""
+        if f < 0:
+            raise ConfigurationError("f must be non-negative")
+        return 2 * f + 1 if use_attested_log else 3 * f + 1
+
+
+@dataclass
+class CommitEvent:
+    """Passed to ``on_commit`` subscribers when a replica executes a block."""
+
+    replica_id: int
+    block: Block
+    receipts: List[TransactionReceipt]
+    committed_at: float
+
+
+@dataclass
+class _Instance:
+    """Per-sequence-number consensus state."""
+
+    seq: int
+    view: int
+    block: Optional[Block] = None
+    block_digest: Optional[str] = None
+    pre_prepared: bool = False
+    prepares: Set[int] = field(default_factory=set)
+    commits: Set[int] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+    proposed_at: float = 0.0
+    timer: Any = None
+
+
+class ConsensusReplica(SimProcess):
+    """Base replica for HL / AHL / AHL+ / AHLR.
+
+    Subclasses set the class attributes below (or override hooks) to obtain
+    the different protocol variants.
+
+    Parameters
+    ----------
+    node_id:
+        Global node identifier (must appear in ``committee``).
+    committee:
+        Ordered list of the node ids forming this committee.
+    config:
+        Protocol configuration.
+    registry:
+        Chaincodes deployed on this committee's shard.
+    monitor:
+        Shared metric sink for the committee.
+    byzantine:
+        Optional attack strategy; when present and applicable to this node,
+        the replica misbehaves as the strategy dictates.
+    """
+
+    PROTOCOL_NAME = "base"
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 committee: Sequence[int], config: ConsensusConfig,
+                 registry: Optional[ChaincodeRegistry] = None,
+                 monitor: Optional[Monitor] = None,
+                 region: str = "local",
+                 shard_id: int = 0,
+                 byzantine: Optional[Any] = None) -> None:
+        super().__init__(
+            node_id, sim, network, region=region,
+            queue_capacity=config.queue_capacity,
+            separate_queues=config.separate_queues,
+        )
+        if node_id not in committee:
+            raise ConfigurationError(f"node {node_id} is not a member of the committee")
+        self.committee = list(committee)
+        self.config = config
+        self.shard_id = shard_id
+        self.monitor = monitor or Monitor()
+        self.byzantine = byzantine if (byzantine and byzantine.applies_to(node_id)) else None
+
+        self.blockchain = Blockchain(shard_id=shard_id)
+        self.state = StateStore(shard_id=shard_id)
+        self.registry = registry or ChaincodeRegistry()
+        self.engine = ExecutionEngine(self.registry, self.state)
+
+        self.view = 0
+        self.next_seq = 1
+        self.last_executed = 0
+        self.pending_txs: Deque[Transaction] = deque()
+        self.seen_tx_ids: Set[str] = set()
+        self.committed_tx_ids: Set[str] = set()
+        self.in_flight_tx_ids: Set[str] = set()
+        self.instances: Dict[int, _Instance] = {}
+        self.view_change_votes: Dict[int, Set[int]] = {}
+        self.checkpoint_votes: Dict[int, Set[int]] = {}
+        self.stable_checkpoint = 0
+        self.view_changes = 0
+        self.blocks_proposed = 0
+        self._progress_check_pending = False
+        self._last_block_time = 0.0
+        self._interval_retry_pending = False
+        self._on_commit: List[Callable[[CommitEvent], None]] = []
+
+    # ------------------------------------------------------------ membership
+    @property
+    def n(self) -> int:
+        return len(self.committee)
+
+    @property
+    def f(self) -> int:
+        return self.config.fault_tolerance(self.n)
+
+    @property
+    def quorum(self) -> int:
+        return self.config.quorum_size(self.n)
+
+    def leader_id(self, view: Optional[int] = None) -> int:
+        view = self.view if view is None else view
+        return self.committee[view % self.n]
+
+    def expected_proposer(self, seq: int, view: Optional[int] = None) -> int:
+        """The replica allowed to propose sequence number ``seq`` in ``view``.
+
+        Stable-leader protocols (PBFT family) ignore ``seq``; rotating-leader
+        protocols (Tendermint, IBFT) override this.
+        """
+        return self.leader_id(view)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader_id() == self.node_id
+
+    def peers(self) -> List[int]:
+        return [peer for peer in self.committee if peer != self.node_id]
+
+    def on_commit(self, callback: Callable[[CommitEvent], None]) -> None:
+        """Subscribe to block execution events on this replica."""
+        self._on_commit.append(callback)
+
+    # ------------------------------------------------------------- submission
+    def submit_transactions(self, transactions: Sequence[Transaction]) -> None:
+        """Entry point used by clients co-located with this replica (no network hop)."""
+        self._accept_transactions(transactions)
+
+    def _accept_transactions(self, transactions: Sequence[Transaction]) -> None:
+        accepted = False
+        for tx in transactions:
+            if tx.tx_id in self.seen_tx_ids or tx.tx_id in self.committed_tx_ids:
+                continue
+            self.seen_tx_ids.add(tx.tx_id)
+            self.pending_txs.append(tx)
+            accepted = True
+        if self.is_leader:
+            self._maybe_propose()
+        elif accepted and not self._progress_check_pending:
+            # Liveness guard: if the leader makes no progress on pending work
+            # within the timeout (e.g. a silent Byzantine leader), ask for a
+            # view change.
+            self._progress_check_pending = True
+            self.sim.schedule(
+                self.config.view_change_timeout, self._progress_check,
+                self.last_executed, self.view,
+            )
+
+    def _progress_check(self, executed_then: int, view_then: int) -> None:
+        self._progress_check_pending = False
+        if self.crashed or self.view != view_then:
+            return
+        if self.last_executed > executed_then:
+            return
+        if not self.pending_txs and not any(
+            not inst.committed for inst in self.instances.values()
+        ):
+            return
+        if not self.config.broadcast_requests and self.pending_txs:
+            # PBFT's fallback when the leader ignores a forwarded request: the
+            # replica broadcasts the request to everyone so the whole
+            # committee learns about the stalled work and can view-change.
+            stalled = [tx for tx in list(self.pending_txs)[:200]
+                       if tx.tx_id not in self.committed_tx_ids]
+            if stalled:
+                fallback = Message(
+                    sender=self.node_id,
+                    kind=m.KIND_FORWARD,
+                    payload=m.ClientRequest(
+                        client_id=f"replica-{self.node_id}", request_id=0,
+                        transactions=tuple(stalled), submitted_at=self.sim.now,
+                    ),
+                    size_bytes=self.config.transaction_bytes * len(stalled),
+                    channel=REQUEST_CHANNEL,
+                )
+                self.broadcast(self.peers(), fallback)
+        self._request_view_change(self.view + 1)
+
+    # ---------------------------------------------------------------- costs
+    def message_cost(self, message: Message) -> float:
+        costs = self.config.costs
+        kind = message.kind
+        if kind in (m.KIND_REQUEST, m.KIND_FORWARD):
+            payload: m.ClientRequest = message.payload
+            per_tx = costs.sha256 * len(payload.transactions)
+            signature = costs.ecdsa_verify if self.config.verify_client_signatures else 0.0
+            return signature + per_tx
+        if kind == m.KIND_PRE_PREPARE:
+            # The attested-log proof doubles as the message signature, so AHL
+            # and HL both verify a single ECDSA signature per message.
+            payload = message.payload
+            ntx = len(payload.block.transactions) if payload.block else 0
+            return costs.ecdsa_verify + costs.sha256 * ntx
+        if kind in (m.KIND_PREPARE, m.KIND_COMMIT):
+            if self._phase_already_complete(message):
+                return costs.sha256
+            return costs.ecdsa_verify
+        if kind == m.KIND_AGGREGATE:
+            return costs.ecdsa_verify
+        if kind in (m.KIND_VIEW_CHANGE, m.KIND_NEW_VIEW):
+            return costs.ecdsa_verify
+        if kind == m.KIND_CHECKPOINT:
+            return costs.sha256
+        return costs.sha256
+
+    def _phase_already_complete(self, message: Message) -> bool:
+        payload = message.payload
+        instance = self.instances.get(getattr(payload, "seq", -1))
+        if instance is None:
+            return False
+        if message.kind == m.KIND_PREPARE:
+            return instance.prepared or instance.committed
+        if message.kind == m.KIND_COMMIT:
+            return instance.committed
+        return False
+
+    def _signing_cost(self) -> float:
+        # In the AHL family the attested append (which the enclave signs)
+        # replaces the plain ECDSA message signature.
+        if self.config.use_attested_log:
+            return self.config.costs.attested_append()
+        return self.config.costs.ecdsa_sign
+
+    # ------------------------------------------------------------- messaging
+    def _consensus_message(self, kind: str, payload: Any, size: Optional[int] = None) -> Message:
+        return Message(
+            sender=self.node_id,
+            kind=kind,
+            payload=payload,
+            size_bytes=size or self.config.consensus_message_bytes,
+            channel=CONSENSUS_CHANNEL,
+        )
+
+    def _broadcast_consensus(self, kind: str, payload: Any, size: Optional[int] = None,
+                             include_self: bool = False) -> None:
+        message = self._consensus_message(kind, payload, size)
+        targets = self.committee if include_self else self.peers()
+        self.broadcast([t for t in targets if t != self.node_id], message)
+
+    def _attest(self, log_name: str, position: int, body: Any):
+        """Hook for AHL-family subclasses: return a log attestation or None."""
+        return None
+
+    # ---------------------------------------------------------- proposal path
+    def handle_message(self, message: Message) -> None:
+        if self.byzantine is not None and self.byzantine.drop_incoming(self, message):
+            return
+        kind = message.kind
+        if kind in (m.KIND_REQUEST, m.KIND_FORWARD):
+            self._handle_request(message)
+        elif kind == m.KIND_PRE_PREPARE:
+            self._handle_pre_prepare(message.payload)
+        elif kind == m.KIND_PREPARE:
+            self._handle_prepare(message.payload)
+        elif kind == m.KIND_COMMIT:
+            self._handle_commit(message.payload)
+        elif kind == m.KIND_VIEW_CHANGE:
+            self._handle_view_change(message.payload)
+        elif kind == m.KIND_NEW_VIEW:
+            self._handle_new_view(message.payload)
+        elif kind == m.KIND_AGGREGATE:
+            self._handle_aggregate(message.payload)
+        elif kind == m.KIND_CHECKPOINT:
+            self._handle_checkpoint(message.payload)
+        else:
+            self._handle_other(message)
+
+    def _handle_other(self, message: Message) -> None:
+        """Subclass hook for additional message kinds."""
+
+    def _handle_request(self, message: Message) -> None:
+        request: m.ClientRequest = message.payload
+        transactions = list(request.transactions)
+        if self.is_leader:
+            self._accept_transactions(transactions)
+            return
+        if self.config.broadcast_requests:
+            # Original PBFT / Hyperledger behaviour: the receiving replica
+            # broadcasts the request to every other replica.
+            if message.kind == m.KIND_REQUEST:
+                forward = Message(
+                    sender=self.node_id,
+                    kind=m.KIND_FORWARD,
+                    payload=request,
+                    size_bytes=self.config.transaction_bytes * max(1, len(transactions)),
+                    channel=REQUEST_CHANNEL,
+                )
+                self.broadcast(self.peers(), forward)
+            self._accept_transactions(transactions)
+        else:
+            # AHL+ optimisation 2: forward to the leader only.  The replica
+            # keeps a local copy so it can detect a leader that makes no
+            # progress (and re-propose after a view change).
+            forward = Message(
+                sender=self.node_id,
+                kind=m.KIND_FORWARD,
+                payload=request,
+                size_bytes=self.config.transaction_bytes * max(1, len(transactions)),
+                channel=REQUEST_CHANNEL,
+            )
+            self.send(self.leader_id(), forward)
+            self._accept_transactions(transactions)
+
+    def _maybe_propose(self) -> None:
+        if not self.is_leader or self.crashed:
+            return
+        if self.byzantine is not None and not self.byzantine.leader_should_propose(self):
+            return
+        while self.pending_txs:
+            if self.config.max_blocks is not None and self.blocks_proposed >= self.config.max_blocks:
+                return
+            outstanding = sum(
+                1 for inst in self.instances.values() if not inst.committed
+            )
+            if outstanding >= self.config.pipeline_depth:
+                return
+            if self.config.min_block_interval > 0:
+                earliest = self._last_block_time + self.config.min_block_interval
+                if self.sim.now < earliest:
+                    if not self._interval_retry_pending:
+                        self._interval_retry_pending = True
+                        self.sim.schedule_at(earliest, self._interval_retry)
+                    return
+            batch: List[Transaction] = []
+            while self.pending_txs and len(batch) < self.config.batch_size:
+                tx = self.pending_txs.popleft()
+                if tx.tx_id in self.committed_tx_ids or tx.tx_id in self.in_flight_tx_ids:
+                    continue
+                batch.append(tx)
+            if not batch:
+                return
+            self._propose_block(batch)
+
+    def _propose_block(self, batch: List[Transaction]) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        for tx in batch:
+            self.in_flight_tx_ids.add(tx.tx_id)
+        block = build_block(
+            height=seq,
+            prev_hash="pending",  # the real parent is resolved at execution time
+            transactions=tuple(batch),
+            proposer=self.node_id,
+            view=self.view,
+            timestamp=self.sim.now,
+            shard_id=self.shard_id,
+        )
+        self.blocks_proposed += 1
+        instance = self._get_instance(seq)
+        instance.block = block
+        instance.block_digest = block.header.merkle_root
+        instance.pre_prepared = True
+        instance.prepares.add(self.node_id)
+        instance.commits.add(self.node_id)
+        instance.proposed_at = self.sim.now
+        self._start_timer(instance)
+        attestation = self._attest("pre-prepare", seq, block.header.merkle_root)
+        payload = m.PrePrepare(
+            view=self.view, seq=seq, block=block, leader=self.node_id,
+            attestation=attestation,
+        )
+        size = self.config.consensus_message_bytes + self.config.transaction_bytes * len(batch)
+        sign_cost = (self._signing_cost() + self.config.costs.sha256 * len(batch)
+                     + self.config.proposal_overhead)
+        self._last_block_time = self.sim.now
+        self.cpu_execute(sign_cost, self._broadcast_consensus, m.KIND_PRE_PREPARE, payload, size)
+        self.monitor.counter(f"blocks_proposed.shard{self.shard_id}").increment()
+
+    def _interval_retry(self) -> None:
+        self._interval_retry_pending = False
+        if self.is_leader:
+            self._maybe_propose()
+
+    # ---------------------------------------------------------- PBFT handlers
+    def _get_instance(self, seq: int) -> _Instance:
+        if seq not in self.instances:
+            self.instances[seq] = _Instance(seq=seq, view=self.view)
+        return self.instances[seq]
+
+    def _start_timer(self, instance: _Instance) -> None:
+        if instance.timer is not None:
+            return
+        instance.timer = self.sim.schedule(
+            self.config.view_change_timeout, self._on_instance_timeout, instance.seq, self.view
+        )
+
+    def _cancel_timer(self, instance: _Instance) -> None:
+        if instance.timer is not None:
+            instance.timer.cancel()
+            instance.timer = None
+
+    def _handle_pre_prepare(self, payload: m.PrePrepare) -> None:
+        if payload.view != self.view:
+            return
+        if payload.leader != self.expected_proposer(payload.seq, payload.view):
+            return
+        if self.config.use_attested_log and payload.attestation is not None:
+            if not payload.attestation.verify():
+                return
+        instance = self._get_instance(payload.seq)
+        if instance.pre_prepared and instance.block_digest != payload.block.header.merkle_root:
+            # Conflicting pre-prepare for the same slot: ignore (equivocation).
+            return
+        instance.block = payload.block
+        instance.block_digest = payload.block.header.merkle_root
+        instance.pre_prepared = True
+        instance.prepares.add(payload.leader)
+        instance.proposed_at = payload.block.header.timestamp
+        self._start_timer(instance)
+        self._send_prepare(instance)
+        self._check_prepared(instance)
+
+    def _send_prepare(self, instance: _Instance) -> None:
+        if self.byzantine is not None and self.byzantine.suppress_vote(self, "prepare"):
+            return
+        digest = self.byzantine.mutate_digest(self, instance.block_digest) \
+            if self.byzantine is not None else instance.block_digest
+        attestation = self._attest("prepare", instance.seq, digest)
+        payload = m.Prepare(
+            view=self.view, seq=instance.seq, block_digest=digest,
+            replica=self.node_id, attestation=attestation,
+        )
+        instance.prepares.add(self.node_id)
+        self.cpu_execute(self._signing_cost(), self._dispatch_vote, m.KIND_PREPARE, payload)
+
+    def _dispatch_vote(self, kind: str, payload: Any) -> None:
+        """Send a prepare/commit vote according to the communication pattern."""
+        if self.config.leader_aggregation and not self.is_leader:
+            self.send(self.leader_id(), self._consensus_message(kind, payload))
+        else:
+            self._broadcast_consensus(kind, payload)
+
+    def _handle_prepare(self, payload: m.Prepare) -> None:
+        if payload.view != self.view:
+            return
+        instance = self._get_instance(payload.seq)
+        if instance.block_digest is not None and payload.block_digest != instance.block_digest:
+            return  # conflicting vote; ignore
+        if self.config.use_attested_log and payload.attestation is not None:
+            if not payload.attestation.verify():
+                return
+        instance.prepares.add(payload.replica)
+        self._check_prepared(instance)
+
+    def _check_prepared(self, instance: _Instance) -> None:
+        if instance.prepared or not instance.pre_prepared:
+            return
+        if len(instance.prepares) >= self.quorum:
+            instance.prepared = True
+            self._on_prepared(instance)
+
+    def _on_prepared(self, instance: _Instance) -> None:
+        self._send_commit(instance)
+        self._check_committed(instance)
+
+    def _send_commit(self, instance: _Instance) -> None:
+        if self.byzantine is not None and self.byzantine.suppress_vote(self, "commit"):
+            return
+        attestation = self._attest("commit", instance.seq, instance.block_digest)
+        payload = m.Commit(
+            view=self.view, seq=instance.seq, block_digest=instance.block_digest or "",
+            replica=self.node_id, attestation=attestation,
+        )
+        instance.commits.add(self.node_id)
+        self.cpu_execute(self._signing_cost(), self._dispatch_vote, m.KIND_COMMIT, payload)
+
+    def _handle_commit(self, payload: m.Commit) -> None:
+        if payload.view != self.view:
+            return
+        instance = self._get_instance(payload.seq)
+        if instance.block_digest is not None and payload.block_digest != instance.block_digest:
+            return
+        if self.config.use_attested_log and payload.attestation is not None:
+            if not payload.attestation.verify():
+                return
+        instance.commits.add(payload.replica)
+        self._check_committed(instance)
+
+    def _check_committed(self, instance: _Instance) -> None:
+        if instance.committed or not instance.prepared:
+            return
+        if len(instance.commits) >= self.quorum:
+            instance.committed = True
+            self._cancel_timer(instance)
+            self._try_execute()
+
+    def _handle_aggregate(self, payload: m.AggregateCertificate) -> None:
+        """Subclasses using leader aggregation override this."""
+
+    # ------------------------------------------------------------- execution
+    def _try_execute(self) -> None:
+        while True:
+            next_seq = self.last_executed + 1
+            instance = self.instances.get(next_seq)
+            if instance is None or not instance.committed or instance.executed or instance.block is None:
+                return
+            instance.executed = True
+            self.last_executed = next_seq
+            cost = self.config.costs.block_execution(len(instance.block.transactions))
+            self.cpu_execute(cost, self._apply_block, instance)
+
+    def _apply_block(self, instance: _Instance) -> None:
+        block = instance.block
+        assert block is not None
+        for tx in block.transactions:
+            self.committed_tx_ids.add(tx.tx_id)
+            self.in_flight_tx_ids.discard(tx.tx_id)
+        chained = build_block(
+            height=self.blockchain.height + 1,
+            prev_hash=self.blockchain.tip.block_hash,
+            transactions=block.transactions,
+            proposer=block.header.proposer,
+            view=block.header.view,
+            timestamp=block.header.timestamp,
+            shard_id=self.shard_id,
+        )
+        self.blockchain.append(chained)
+        receipts = self.engine.execute_block(chained, now=self.sim.now)
+        now = self.sim.now
+        self._last_block_time = now
+        latency = now - instance.proposed_at if instance.proposed_at else 0.0
+        self.monitor.series(f"commit_latency.replica{self.node_id}").record(now, latency)
+        self.monitor.series(f"consensus_cost.replica{self.node_id}").record(now, latency)
+        self.monitor.series(f"execution_cost.replica{self.node_id}").record(
+            now, self.config.costs.block_execution(len(block.transactions))
+        )
+        self.monitor.throughput(f"replica{self.node_id}").record_commit(now, len(block.transactions))
+        event = CommitEvent(replica_id=self.node_id, block=chained, receipts=receipts, committed_at=now)
+        for callback in self._on_commit:
+            callback(event)
+        if (self.config.checkpoint_interval > 0
+                and self.last_executed % self.config.checkpoint_interval == 0):
+            checkpoint = m.Checkpoint(seq=instance.seq, replica=self.node_id)
+            self._broadcast_consensus(m.KIND_CHECKPOINT, checkpoint)
+            self._record_checkpoint_vote(instance.seq, self.node_id)
+        if self.is_leader:
+            self._maybe_propose()
+
+    # ------------------------------------------------------------ checkpoints
+    def _handle_checkpoint(self, payload: m.Checkpoint) -> None:
+        self._record_checkpoint_vote(payload.seq, payload.replica)
+
+    def _record_checkpoint_vote(self, seq: int, replica: int) -> None:
+        votes = self.checkpoint_votes.setdefault(seq, set())
+        votes.add(replica)
+        if len(votes) >= self.quorum and seq > self.stable_checkpoint:
+            self._advance_stable_checkpoint(seq)
+
+    def _advance_stable_checkpoint(self, seq: int) -> None:
+        """A quorum has executed up to ``seq``: instances at or below it are final.
+
+        This is PBFT's stable-checkpoint rule; it lets a replica that missed
+        commit messages (e.g. they were dropped from an overloaded queue)
+        catch up as long as it holds the corresponding pre-prepared blocks.
+        """
+        self.stable_checkpoint = seq
+        for instance in self.instances.values():
+            if instance.seq <= seq and instance.block is not None and not instance.committed:
+                instance.prepared = True
+                instance.committed = True
+                self._cancel_timer(instance)
+        self._try_execute()
+
+    # ------------------------------------------------------------ view change
+    def _on_instance_timeout(self, seq: int, view_at_start: int) -> None:
+        if self.crashed or view_at_start != self.view:
+            return
+        instance = self.instances.get(seq)
+        if instance is None or instance.committed:
+            return
+        self._request_view_change(self.view + 1)
+
+    def _request_view_change(self, new_view: int) -> None:
+        if new_view <= self.view:
+            return
+        payload = m.ViewChange(new_view=new_view, last_executed=self.last_executed,
+                               replica=self.node_id)
+        votes = self.view_change_votes.setdefault(new_view, set())
+        votes.add(self.node_id)
+        self.cpu_execute(self.config.costs.ecdsa_sign, self._broadcast_consensus,
+                         m.KIND_VIEW_CHANGE, payload)
+        self._check_view_change(new_view)
+        # Escalate if this view change does not complete either (PBFT's
+        # exponential back-off is approximated by a fixed re-check interval).
+        self.sim.schedule(self.config.view_change_timeout, self._escalate_view_change, new_view)
+
+    def _escalate_view_change(self, requested_view: int) -> None:
+        if self.crashed or self.view >= requested_view:
+            return
+        has_stalled_work = bool(self.pending_txs) or any(
+            not inst.committed for inst in self.instances.values()
+        )
+        if has_stalled_work:
+            self._request_view_change(requested_view + 1)
+
+    def _handle_view_change(self, payload: m.ViewChange) -> None:
+        if payload.new_view <= self.view:
+            return
+        votes = self.view_change_votes.setdefault(payload.new_view, set())
+        votes.add(payload.replica)
+        self._check_view_change(payload.new_view)
+
+    def _check_view_change(self, new_view: int) -> None:
+        votes = self.view_change_votes.get(new_view, set())
+        if len(votes) < self.quorum:
+            return
+        if new_view <= self.view:
+            return
+        self._enter_view(new_view)
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        self.view_changes += 1
+        self.monitor.counter(f"view_changes.shard{self.shard_id}").increment()
+        # Reset progress on uncommitted instances; they will be re-proposed.
+        pending_blocks: List[Block] = []
+        for instance in self.instances.values():
+            if not instance.committed:
+                self._cancel_timer(instance)
+                if instance.block is not None:
+                    pending_blocks.append(instance.block)
+                instance.prepares.clear()
+                instance.commits.clear()
+                instance.pre_prepared = False
+                instance.prepared = False
+                instance.view = new_view
+        if self.is_leader:
+            payload = m.NewView(new_view=new_view, leader=self.node_id)
+            self.cpu_execute(self.config.costs.ecdsa_sign, self._broadcast_consensus,
+                             m.KIND_NEW_VIEW, payload)
+            # Re-queue uncommitted transactions and propose again in the new view.
+            for block in pending_blocks:
+                for tx in block.transactions:
+                    if tx.tx_id not in self.committed_tx_ids:
+                        self.in_flight_tx_ids.discard(tx.tx_id)
+                        self.pending_txs.append(tx)
+            for instance in list(self.instances.values()):
+                if not instance.committed:
+                    del self.instances[instance.seq]
+            self._maybe_propose()
+
+    def _handle_new_view(self, payload: m.NewView) -> None:
+        if payload.new_view < self.view:
+            return
+        if payload.leader != self.leader_id(payload.new_view):
+            return
+        if payload.new_view > self.view:
+            self.view = payload.new_view
+            for instance in list(self.instances.values()):
+                if not instance.committed:
+                    self._cancel_timer(instance)
+                    del self.instances[instance.seq]
+
+    # ---------------------------------------------------------------- metrics
+    def committed_transactions(self) -> int:
+        """Total transactions executed by this replica."""
+        return self.blockchain.total_transactions()
+
+    def commit_latencies(self) -> List[float]:
+        return self.monitor.series(f"commit_latency.replica{self.node_id}").values()

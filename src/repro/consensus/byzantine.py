@@ -1,0 +1,96 @@
+"""Byzantine attack strategies used by the "throughput under failures" runs.
+
+The paper (Figure 8 right) simulates an attack in which Byzantine nodes send
+conflicting messages (different sequence numbers / digests) to different
+nodes, and the Byzantine leader withholds proposals.  A strategy object is
+attached to the replicas it controls; the replica consults it at the decision
+points exposed by :class:`~repro.consensus.base.ConsensusReplica`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.crypto.hashing import sha256_hex
+from repro.sim.network import Message
+
+
+class ByzantineStrategy:
+    """Base (benign) strategy: controls a set of node ids but behaves honestly."""
+
+    def __init__(self, corrupted: Iterable[int] = ()) -> None:
+        self.corrupted: Set[int] = set(corrupted)
+
+    def applies_to(self, node_id: int) -> bool:
+        return node_id in self.corrupted
+
+    # Decision hooks — the default implementations are honest behaviour.
+    def leader_should_propose(self, replica) -> bool:
+        """Whether a corrupted leader proposes blocks at all."""
+        return True
+
+    def suppress_vote(self, replica, phase: str) -> bool:
+        """Whether a corrupted replica withholds its prepare/commit vote."""
+        return False
+
+    def mutate_digest(self, replica, digest: Optional[str]) -> Optional[str]:
+        """Digest the corrupted replica puts in its votes (conflicting digests = equivocation)."""
+        return digest
+
+    def drop_incoming(self, replica, message: Message) -> bool:
+        """Whether the corrupted replica ignores an incoming message."""
+        return False
+
+
+class SilentLeader(ByzantineStrategy):
+    """Corrupted nodes never propose when they are the leader and never vote.
+
+    This is the strongest liveness attack available to non-equivocating
+    Byzantine nodes: it forces repeated view changes whenever a corrupted
+    node holds the leader role.
+    """
+
+    def leader_should_propose(self, replica) -> bool:
+        return False
+
+    def suppress_vote(self, replica, phase: str) -> bool:
+        return True
+
+    def drop_incoming(self, replica, message: Message) -> bool:
+        return True
+
+
+class EquivocatingAttacker(ByzantineStrategy):
+    """Corrupted nodes vote for a *wrong* digest (the conflicting-message attack).
+
+    Against plain PBFT these votes are wasted work for honest nodes (they are
+    verified, then discarded on digest mismatch).  Against the AHL family the
+    node's own enclave refuses to attest a second digest for the same slot,
+    so the attack degenerates to staying silent — which is exactly the
+    reduction the attested log is designed to force.
+    """
+
+    def __init__(self, corrupted: Iterable[int] = (), also_silent_leader: bool = True) -> None:
+        super().__init__(corrupted)
+        self.also_silent_leader = also_silent_leader
+
+    def leader_should_propose(self, replica) -> bool:
+        return not self.also_silent_leader
+
+    def mutate_digest(self, replica, digest: Optional[str]) -> Optional[str]:
+        if digest is None:
+            return None
+        return sha256_hex(f"conflicting:{digest}:{replica.node_id}")
+
+
+class CrashAttacker(ByzantineStrategy):
+    """Corrupted nodes behave as crashed: no proposals, no votes, no processing."""
+
+    def leader_should_propose(self, replica) -> bool:
+        return False
+
+    def suppress_vote(self, replica, phase: str) -> bool:
+        return True
+
+    def drop_incoming(self, replica, message: Message) -> bool:
+        return True

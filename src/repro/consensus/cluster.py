@@ -1,0 +1,379 @@
+"""Single-committee harness: build a cluster, drive it with clients, measure.
+
+This module glues one committee's replicas, a network, and client drivers
+together, and is the workhorse behind the consensus experiments (Figures 2,
+8, 9, 10, 15, 16, 17, 19, 20).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+from repro.consensus.ahl import AhlReplica, ahl_config
+from repro.consensus.ahl_plus import AhlPlusReplica, ahl_plus_config, ahl_opt1_config
+from repro.consensus.ahlr import AhlrReplica, ahlr_config
+from repro.consensus.base import CommitEvent, ConsensusConfig, ConsensusReplica
+from repro.consensus.ibft import IbftReplica, ibft_config
+from repro.consensus.messages import KIND_REQUEST, ClientRequest
+from repro.consensus.pbft import PbftReplica, pbft_config
+from repro.consensus.raft import RaftReplica, raft_config
+from repro.consensus.tendermint import TendermintReplica, tendermint_config
+from repro.errors import ConfigurationError
+from repro.ledger.chaincode import Chaincode, ChaincodeRegistry
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction
+from repro.sim.latency import LanLatencyModel, LatencyModel, assign_regions_round_robin
+from repro.sim.monitor import Monitor, mean_or_zero
+from repro.sim.network import Message, Network, REQUEST_CHANNEL
+from repro.sim.node import SimProcess
+from repro.sim.simulator import Simulator
+
+#: Registry of protocol name -> (replica class, default-config factory).
+PROTOCOLS: Dict[str, tuple] = {
+    "HL": (PbftReplica, pbft_config),
+    "AHL": (AhlReplica, ahl_config),
+    "AHL+": (AhlPlusReplica, ahl_plus_config),
+    "AHL+op1": (AhlPlusReplica, ahl_opt1_config),
+    "AHLR": (AhlrReplica, ahlr_config),
+    "Tendermint": (TendermintReplica, tendermint_config),
+    "IBFT": (IbftReplica, ibft_config),
+    "Raft": (RaftReplica, raft_config),
+}
+
+
+class NoopChaincode(Chaincode):
+    """A trivial chaincode that writes each argument key (default workload)."""
+
+    name = "noop"
+
+    def invoke(self, state: StateStore, function: str, args: Dict[str, Any]) -> Any:
+        for key in args.get("keys", ()):
+            state.put(key, args.get("value", 1))
+        return {"ok": True}
+
+    def keys_touched(self, function: str, args: Dict[str, Any]):
+        return tuple(args.get("keys", ()))
+
+
+def default_tx_factory(client_id: str, now: float, rng, count: int) -> List[Transaction]:
+    """Produce ``count`` no-op transactions, each touching one random key."""
+    chaincode = NoopChaincode()
+    return [
+        chaincode.new_transaction(
+            "write",
+            {"keys": (f"key-{rng.randrange(100000)}",), "value": rng.randrange(1000)},
+            client_id=client_id,
+            submitted_at=now,
+        )
+        for _ in range(count)
+    ]
+
+
+class OpenLoopClient(SimProcess):
+    """A BLOCKBENCH-style open-loop client: submits at a fixed rate regardless of completion."""
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 targets: Sequence[int], rate_tps: float, batch_size: int = 10,
+                 tx_factory: Optional[Callable] = None, region: str = "local",
+                 stop_at: Optional[float] = None) -> None:
+        super().__init__(node_id, sim, network, region=region)
+        if rate_tps <= 0 or batch_size <= 0:
+            raise ConfigurationError("client rate and batch size must be positive")
+        self.targets = list(targets)
+        self.rate_tps = rate_tps
+        self.batch_size = batch_size
+        self.tx_factory = tx_factory or default_tx_factory
+        self.stop_at = stop_at
+        self.requests_sent = 0
+        self.transactions_sent = 0
+        self._rng = sim.fork_rng(f"client-{node_id}")
+        self._request_counter = itertools.count()
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        transactions = self.tx_factory(f"client-{self.node_id}", self.sim.now,
+                                       self._rng, self.batch_size)
+        request = ClientRequest(
+            client_id=f"client-{self.node_id}",
+            request_id=next(self._request_counter),
+            transactions=tuple(transactions),
+            submitted_at=self.sim.now,
+        )
+        target = self.targets[self._rng.randrange(len(self.targets))]
+        message = Message(
+            sender=self.node_id, kind=KIND_REQUEST, payload=request,
+            size_bytes=512 * len(transactions), channel=REQUEST_CHANNEL,
+        )
+        self.send(target, message)
+        self.requests_sent += 1
+        self.transactions_sent += len(transactions)
+        interval = self.batch_size / self.rate_tps
+        self.sim.schedule(interval, self._tick)
+
+    def handle_message(self, message: Message) -> None:
+        """Open-loop clients ignore replies."""
+
+
+class ClosedLoopClient(SimProcess):
+    """A closed-loop client: keeps ``outstanding`` transactions in flight.
+
+    Completion is observed through the commit events of an honest observer
+    replica (the simulation equivalent of reading the transaction status from
+    the blocks, as the paper's modified driver does).
+    """
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 targets: Sequence[int], outstanding: int = 128, batch_size: int = 1,
+                 tx_factory: Optional[Callable] = None, region: str = "local") -> None:
+        super().__init__(node_id, sim, network, region=region)
+        self.targets = list(targets)
+        self.outstanding = outstanding
+        self.batch_size = batch_size
+        self.tx_factory = tx_factory or default_tx_factory
+        self.transactions_sent = 0
+        self.transactions_completed = 0
+        self._in_flight: set[str] = set()
+        self._rng = sim.fork_rng(f"client-{node_id}")
+        self._request_counter = itertools.count()
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._fill)
+
+    def attach_observer(self, replica: ConsensusReplica) -> None:
+        replica.on_commit(self._on_commit)
+
+    def _fill(self) -> None:
+        while len(self._in_flight) < self.outstanding:
+            self._send_batch()
+
+    def _send_batch(self) -> None:
+        transactions = self.tx_factory(f"client-{self.node_id}", self.sim.now,
+                                       self._rng, self.batch_size)
+        for tx in transactions:
+            self._in_flight.add(tx.tx_id)
+        request = ClientRequest(
+            client_id=f"client-{self.node_id}",
+            request_id=next(self._request_counter),
+            transactions=tuple(transactions),
+            submitted_at=self.sim.now,
+        )
+        target = self.targets[self._rng.randrange(len(self.targets))]
+        message = Message(sender=self.node_id, kind=KIND_REQUEST, payload=request,
+                          size_bytes=512 * len(transactions), channel=REQUEST_CHANNEL)
+        self.send(target, message)
+        self.transactions_sent += len(transactions)
+
+    def _on_commit(self, event: CommitEvent) -> None:
+        completed = 0
+        for tx in event.block.transactions:
+            if tx.tx_id in self._in_flight:
+                self._in_flight.discard(tx.tx_id)
+                completed += 1
+        self.transactions_completed += completed
+        if completed:
+            self._fill()
+
+    def handle_message(self, message: Message) -> None:
+        """Replies arrive via the observer callback instead."""
+
+
+@dataclass
+class ClusterRunResult:
+    """Summary statistics of one cluster run."""
+
+    protocol: str
+    n: int
+    duration: float
+    committed_transactions: int
+    throughput_tps: float
+    avg_latency: float
+    p95_latency: float
+    view_changes: int
+    messages_sent: int
+    messages_dropped: int
+    queue_drops: int
+    blocks_committed: int
+    consensus_cost_mean: float = 0.0
+    execution_cost_mean: float = 0.0
+
+
+class ConsensusCluster:
+    """One committee of ``n`` replicas running a chosen protocol, plus clients."""
+
+    def __init__(self, protocol: str, n: int,
+                 latency_model: Optional[LatencyModel] = None,
+                 regions: Optional[Sequence[str]] = None,
+                 config_overrides: Optional[Dict[str, Any]] = None,
+                 registry_factory: Optional[Callable[[], ChaincodeRegistry]] = None,
+                 byzantine: Optional[Any] = None,
+                 seed: int = 0,
+                 shard_id: int = 0,
+                 sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None) -> None:
+        if protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
+            )
+        if n < 1:
+            raise ConfigurationError("committee size must be at least 1")
+        replica_cls, config_factory = PROTOCOLS[protocol]
+        self.protocol = protocol
+        self.n = n
+        self.sim = sim or Simulator(seed=seed)
+        self.network = network or Network(self.sim, latency_model or LanLatencyModel())
+        self.monitor = Monitor()
+        self.config: ConsensusConfig = config_factory(**(config_overrides or {}))
+        self.byzantine = byzantine
+        self.shard_id = shard_id
+
+        node_ids = list(range(shard_id * 10_000, shard_id * 10_000 + n))
+        if regions:
+            region_map = assign_regions_round_robin(node_ids, list(regions))
+            self._client_region = list(regions)[0]
+        else:
+            region_map = {node_id: "local" for node_id in node_ids}
+            self._client_region = "local"
+
+        registry_factory = registry_factory or self._default_registry
+        self.replicas: List[ConsensusReplica] = []
+        for node_id in node_ids:
+            replica = replica_cls(
+                node_id=node_id, sim=self.sim, network=self.network,
+                committee=node_ids, config=self.config,
+                registry=registry_factory(), monitor=self.monitor,
+                region=region_map[node_id], shard_id=shard_id, byzantine=byzantine,
+            )
+            self.replicas.append(replica)
+        self.clients: List[SimProcess] = []
+        self._client_id_counter = itertools.count(1_000_000 + shard_id * 1_000)
+
+    @staticmethod
+    def _default_registry() -> ChaincodeRegistry:
+        registry = ChaincodeRegistry()
+        registry.register(NoopChaincode())
+        return registry
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def committee(self) -> List[int]:
+        return [replica.node_id for replica in self.replicas]
+
+    def replica_by_id(self, node_id: int) -> ConsensusReplica:
+        for replica in self.replicas:
+            if replica.node_id == node_id:
+                return replica
+        raise ConfigurationError(f"no replica with id {node_id}")
+
+    def honest_observer(self) -> ConsensusReplica:
+        """An honest replica whose chain and metrics represent the committee.
+
+        Prefers an honest replica that made the most progress: in overload
+        scenarios individual replicas (typically the leader) can lag behind
+        the committed prefix, and the committee's throughput is what a quorum
+        achieved, not what the slowest member saw.
+        """
+        honest = [r for r in self.replicas if r.byzantine is None and not r.crashed]
+        if not honest:
+            return self.replicas[0]
+        return max(honest, key=lambda replica: replica.last_executed)
+
+    def leader(self) -> ConsensusReplica:
+        observer = self.honest_observer()
+        return self.replica_by_id(observer.leader_id())
+
+    # ---------------------------------------------------------------- clients
+    def add_open_loop_clients(self, count: int, rate_tps: float, batch_size: int = 10,
+                              tx_factory: Optional[Callable] = None) -> List[OpenLoopClient]:
+        """Attach ``count`` open-loop clients, each submitting ``rate_tps`` transactions/s."""
+        clients = []
+        for _ in range(count):
+            client = OpenLoopClient(
+                node_id=next(self._client_id_counter), sim=self.sim, network=self.network,
+                targets=self.committee, rate_tps=rate_tps, batch_size=batch_size,
+                tx_factory=tx_factory, region=self._client_region,
+            )
+            client.start()
+            clients.append(client)
+        self.clients.extend(clients)
+        return clients
+
+    def add_closed_loop_clients(self, count: int, outstanding: int = 128,
+                                batch_size: int = 1,
+                                tx_factory: Optional[Callable] = None) -> List[ClosedLoopClient]:
+        """Attach ``count`` closed-loop clients with ``outstanding`` in-flight transactions each."""
+        observer = self.honest_observer()
+        clients = []
+        for _ in range(count):
+            client = ClosedLoopClient(
+                node_id=next(self._client_id_counter), sim=self.sim, network=self.network,
+                targets=self.committee, outstanding=outstanding, batch_size=batch_size,
+                tx_factory=tx_factory, region=self._client_region,
+            )
+            client.attach_observer(observer)
+            client.start()
+            clients.append(client)
+        self.clients.extend(clients)
+        return clients
+
+    def submit(self, transactions: Sequence[Transaction], to: Optional[int] = None) -> None:
+        """Submit transactions as a client request delivered to one replica.
+
+        The request goes through the replica's normal request path (so it is
+        forwarded/broadcast according to the protocol), without requiring a
+        separate client process.
+        """
+        target = to if to is not None else self.committee[0]
+        request = ClientRequest(
+            client_id="direct", request_id=next(self._client_id_counter),
+            transactions=tuple(transactions), submitted_at=self.sim.now,
+        )
+        message = Message(sender=-1, kind=KIND_REQUEST, payload=request,
+                          size_bytes=512 * max(1, len(transactions)),
+                          channel=REQUEST_CHANNEL)
+        message.recipient = target
+        self.replica_by_id(target).deliver(message)
+
+    # -------------------------------------------------------------------- run
+    def run(self, duration: float, max_events: Optional[int] = None) -> ClusterRunResult:
+        """Run the simulation for ``duration`` seconds and summarise the outcome."""
+        self.sim.run(until=self.sim.now + duration, max_events=max_events)
+        return self.result(duration)
+
+    def result(self, duration: float) -> ClusterRunResult:
+        observer = self.honest_observer()
+        committed = observer.committed_transactions()
+        latencies = observer.commit_latencies()
+        queue_drops = sum(r.stats.messages_dropped_queue_full for r in self.replicas)
+        consensus_costs = self.monitor.series(
+            f"consensus_cost.replica{observer.node_id}").values()
+        execution_costs = self.monitor.series(
+            f"execution_cost.replica{observer.node_id}").values()
+        sorted_latencies = sorted(latencies)
+        p95 = sorted_latencies[int(0.95 * (len(sorted_latencies) - 1))] if sorted_latencies else 0.0
+        return ClusterRunResult(
+            protocol=self.protocol,
+            n=self.n,
+            duration=duration,
+            committed_transactions=committed,
+            throughput_tps=committed / duration if duration > 0 else 0.0,
+            avg_latency=mean_or_zero(latencies),
+            p95_latency=p95,
+            view_changes=int(self.monitor.counter_value(f"view_changes.shard{self.shard_id}")),
+            messages_sent=self.network.stats.messages_sent,
+            messages_dropped=self.network.stats.messages_dropped,
+            queue_drops=queue_drops,
+            blocks_committed=len(observer.blockchain) - 1,
+            consensus_cost_mean=mean_or_zero(consensus_costs),
+            execution_cost_mean=mean_or_zero(execution_costs),
+        )
+
+
+def build_cluster(protocol: str, n: int, **kwargs: Any) -> ConsensusCluster:
+    """Convenience constructor mirroring :class:`ConsensusCluster`."""
+    return ConsensusCluster(protocol, n, **kwargs)

@@ -1,0 +1,29 @@
+"""HL: the original PBFT as implemented by Hyperledger v0.6.
+
+``N = 3f + 1`` replicas, quorum ``2f + 1``, requests broadcast to every
+replica, a single shared inbound message queue.  This is the "HL" baseline in
+Figures 8-10 and the PBFT line in Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.base import ConsensusConfig, ConsensusReplica
+
+
+def pbft_config(**overrides) -> ConsensusConfig:
+    """Configuration preset for HL (plain PBFT on Hyperledger)."""
+    defaults = dict(
+        protocol="pbft",
+        use_attested_log=False,
+        separate_queues=False,
+        broadcast_requests=True,
+        leader_aggregation=False,
+    )
+    defaults.update(overrides)
+    return ConsensusConfig(**defaults)
+
+
+class PbftReplica(ConsensusReplica):
+    """A plain PBFT (Hyperledger) replica."""
+
+    PROTOCOL_NAME = "HL"

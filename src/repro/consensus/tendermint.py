@@ -1,0 +1,72 @@
+"""Tendermint (lockstep PBFT variant, Figure 2 baseline).
+
+Tendermint rotates the proposer round-robin every height and finalises one
+block at a time: a new block can only be proposed once the previous one is
+committed, because of the locking mechanism and the rotating leader.  This
+lockstep execution is why the paper finds it slower than Hyperledger's
+pipelined PBFT at scale (Appendix C.2).
+"""
+
+from __future__ import annotations
+
+from repro.consensus.base import ConsensusConfig, ConsensusReplica, _Instance
+
+
+def tendermint_config(**overrides) -> ConsensusConfig:
+    """Configuration preset for Tendermint: PBFT quorums, no pipelining.
+
+    Tendermint finalises one block per height with a commit timeout of about
+    one second, and the tm-bench key-value application executes transactions
+    in memory without Merkle trees or an EVM (Appendix C.2) — hence the large
+    batch, the one-second block interval and the light execution cost.
+    """
+    from repro.crypto.costs import DEFAULT_COSTS
+
+    defaults = dict(
+        protocol="tendermint",
+        use_attested_log=False,
+        separate_queues=False,
+        broadcast_requests=True,
+        leader_aggregation=False,
+        pipeline_depth=1,
+        batch_size=1500,
+        min_block_interval=1.0,
+        proposal_overhead=0.01,
+        costs=DEFAULT_COSTS.with_overrides(tx_execution=20e-6, chaincode_overhead=5e-6),
+    )
+    defaults.update(overrides)
+    return ConsensusConfig(**defaults)
+
+
+class RotatingLeaderReplica(ConsensusReplica):
+    """Shared behaviour for protocols that rotate the proposer every height."""
+
+    PROTOCOL_NAME = "rotating"
+
+    def expected_proposer(self, seq: int, view: int | None = None) -> int:
+        # The proposer of height (sequence) ``seq`` rotates round-robin;
+        # view changes shift the rotation so a stuck proposer is skipped.
+        view = self.view if view is None else view
+        return self.committee[(seq + view) % self.n]
+
+    def leader_id(self, view: int | None = None) -> int:
+        # "The leader" of a rotating protocol is the proposer of the next height.
+        return self.expected_proposer(self.last_executed + 1, view)
+
+    def _maybe_propose(self) -> None:
+        # Lockstep: sequence numbers follow executed height directly.
+        self.next_seq = max(self.next_seq, self.last_executed + 1)
+        super()._maybe_propose()
+
+    def _apply_block(self, instance: _Instance) -> None:
+        super()._apply_block(instance)
+        # After execution the proposer role has rotated; the new proposer
+        # (possibly this node) may now propose the next height.
+        if self.is_leader:
+            self._maybe_propose()
+
+
+class TendermintReplica(RotatingLeaderReplica):
+    """A Tendermint validator (propose / prevote / precommit in lockstep)."""
+
+    PROTOCOL_NAME = "Tendermint"

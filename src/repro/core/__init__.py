@@ -1,0 +1,25 @@
+"""The sharded blockchain system (the paper's headline artifact).
+
+:class:`~repro.core.system.ShardedBlockchain` composes the pieces built in
+the other packages: it forms committees (Section 5), runs an AHL+ (or any
+other) consensus cluster per shard (Section 4), deploys the benchmark
+chaincodes, and executes cross-shard transactions through the
+reference-committee 2PC/2PL protocol (Section 6) — all inside one
+discrete-event simulation, so throughput, abort rates and reconfiguration
+behaviour can be measured end to end.
+"""
+
+from repro.core.config import ShardedSystemConfig
+from repro.core.system import ShardedBlockchain, ShardedRunResult
+from repro.core.client_api import ShardedClient
+from repro.core.splitters import SmallbankSplitter, KVStoreSplitter, TransactionSplitter
+
+__all__ = [
+    "ShardedSystemConfig",
+    "ShardedBlockchain",
+    "ShardedRunResult",
+    "ShardedClient",
+    "TransactionSplitter",
+    "SmallbankSplitter",
+    "KVStoreSplitter",
+]

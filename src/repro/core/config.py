@@ -1,0 +1,64 @@
+"""Configuration of the end-to-end sharded blockchain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sharding.sizing import minimum_committee_size
+
+
+@dataclass
+class ShardedSystemConfig:
+    """Parameters of a sharded deployment.
+
+    The defaults correspond to the paper's local-cluster Smallbank setup:
+    AHL+ inside every shard, a reference committee for cross-shard 2PC, and
+    hash partitioning of the key space.
+    """
+
+    num_shards: int = 2
+    committee_size: int = 4
+    protocol: str = "AHL+"
+    use_reference_committee: bool = True
+    benchmark: str = "smallbank"
+    num_keys: int = 2_000
+    zipf_coefficient: float = 0.0
+    consensus_overrides: Dict[str, Any] = field(default_factory=dict)
+    regions: Optional[Sequence[str]] = None
+    latency_model: Any = None
+    #: One-way delay charged when the client/coordinator relays a message
+    #: between the reference committee and a transaction committee.
+    relay_delay: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if self.committee_size < 1:
+            raise ConfigurationError("committee_size must be at least 1")
+        if self.benchmark not in ("smallbank", "kvstore"):
+            raise ConfigurationError("benchmark must be 'smallbank' or 'kvstore'")
+
+    @property
+    def total_nodes(self) -> int:
+        """Consensus nodes in the deployment (excluding the reference committee)."""
+        return self.num_shards * self.committee_size
+
+    @staticmethod
+    def for_adversary(network_size: int, byzantine_fraction: float,
+                      protocol: str = "AHL+", **kwargs: Any) -> "ShardedSystemConfig":
+        """Derive shard count and committee size from the adversarial power.
+
+        This mirrors the Figure-14 configurations: the committee size is the
+        minimum that keeps the faulty-committee probability below 2^-20, and
+        the number of shards is however many such committees the network can
+        sustain.
+        """
+        resilience = 0.5 if protocol.upper().startswith("AHL") else 1.0 / 3.0
+        committee = minimum_committee_size(network_size, byzantine_fraction,
+                                           resilience=resilience)
+        num_shards = max(1, network_size // committee)
+        return ShardedSystemConfig(num_shards=num_shards, committee_size=committee,
+                                   protocol=protocol, **kwargs)

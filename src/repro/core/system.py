@@ -1,0 +1,373 @@
+"""The end-to-end sharded blockchain (Figure 1b).
+
+``ShardedBlockchain`` builds, inside one discrete-event simulation:
+
+* ``num_shards`` consensus committees (AHL+ by default), each owning a
+  disjoint hash partition of the key space and running the benchmark
+  chaincode;
+* optionally a **reference committee** running the 2PC state-machine
+  chaincode of Section 6.2;
+* a coordination layer that drives every transaction through the Figure-5
+  flow: BeginTx at the reference committee, PrepareTx at the involved
+  committees (acquiring 2PL locks), vote relay, then CommitTx / AbortTx.
+
+Clients interact through :meth:`submit_transaction`, which accepts ordinary
+benchmark transactions (e.g. Smallbank ``sendPayment``) and hides the
+sharding — the usability extension discussed in Section 6.4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.consensus.base import CommitEvent
+from repro.consensus.cluster import ConsensusCluster
+from repro.core.config import ShardedSystemConfig
+from repro.core.splitters import splitter_for
+from repro.errors import ConfigurationError
+from repro.ledger.chaincode import ChaincodeRegistry
+from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
+from repro.sharding.assignment import assign_committees
+from repro.sharding.committee import CommitteeAssignment
+from repro.sim.latency import LanLatencyModel
+from repro.sim.monitor import Monitor, mean_or_zero
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.txn.coordinator import (
+    DistributedTxOutcome,
+    DistributedTxRecord,
+    TwoPhaseCommitCoordinator,
+)
+from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeChaincode
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+#: Shard id used for the reference committee's cluster.
+REFERENCE_SHARD_ID = 900
+
+
+@dataclass
+class ShardedRunResult:
+    """Summary of a sharded-system run."""
+
+    duration: float
+    committed_transactions: int
+    aborted_transactions: int
+    throughput_tps: float
+    abort_rate: float
+    mean_latency: float
+    cross_shard_fraction: float
+    per_shard_committed: Dict[int, int] = field(default_factory=dict)
+    reference_committee_transactions: int = 0
+
+
+class ShardedBlockchain:
+    """A sharded permissioned blockchain deployment inside one simulation."""
+
+    def __init__(self, config: ShardedSystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.network = Network(self.sim, config.latency_model or LanLatencyModel())
+        self.monitor = Monitor()
+        self.coordinator = TwoPhaseCommitCoordinator(config.use_reference_committee)
+        self.splitter = splitter_for(config.benchmark)
+        self._completion_callbacks: Dict[str, Callable[[DistributedTxRecord], None]] = {}
+        self._receipt_watchers: Dict[str, Callable[[TransactionReceipt], None]] = {}
+        self._single_shard_started: Dict[str, float] = {}
+        self.single_shard_committed = 0
+        self.single_shard_aborted = 0
+        self.single_shard_latencies: List[float] = []
+
+        self.assignment = self._form_committees()
+        self.shards: Dict[int, ConsensusCluster] = {}
+        for shard_id in range(config.num_shards):
+            self.shards[shard_id] = self._build_shard_cluster(shard_id)
+        self.reference: Optional[ConsensusCluster] = None
+        if config.use_reference_committee:
+            self.reference = self._build_reference_cluster()
+        self._populate_states()
+        self._attach_observers()
+
+    # ---------------------------------------------------------------- set-up
+    def _form_committees(self) -> CommitteeAssignment:
+        node_ids = list(range(self.config.total_nodes))
+        return assign_committees(node_ids, self.config.num_shards, seed=self.config.seed)
+
+    def _benchmark_registry(self) -> ChaincodeRegistry:
+        registry = ChaincodeRegistry()
+        if self.config.benchmark == "smallbank":
+            registry.register(SmallbankWorkload(num_accounts=self.config.num_keys).chaincode)
+        else:
+            registry.register(KVStoreWorkload(num_keys=self.config.num_keys).chaincode)
+        return registry
+
+    def _build_shard_cluster(self, shard_id: int) -> ConsensusCluster:
+        return ConsensusCluster(
+            protocol=self.config.protocol,
+            n=self.config.committee_size,
+            config_overrides=dict(self.config.consensus_overrides),
+            registry_factory=self._benchmark_registry,
+            regions=self.config.regions,
+            seed=self.config.seed + shard_id,
+            shard_id=shard_id,
+            sim=self.sim,
+            network=self.network,
+        )
+
+    def _build_reference_cluster(self) -> ConsensusCluster:
+        def registry_factory() -> ChaincodeRegistry:
+            registry = ChaincodeRegistry()
+            registry.register(ReferenceCommitteeChaincode())
+            return registry
+
+        return ConsensusCluster(
+            protocol=self.config.protocol,
+            n=self.config.committee_size,
+            config_overrides=dict(self.config.consensus_overrides),
+            registry_factory=registry_factory,
+            regions=self.config.regions,
+            seed=self.config.seed + REFERENCE_SHARD_ID,
+            shard_id=REFERENCE_SHARD_ID,
+            sim=self.sim,
+            network=self.network,
+        )
+
+    def _populate_states(self) -> None:
+        """Load every shard's replicas with the keys that hash to that shard."""
+        if self.config.benchmark == "smallbank":
+            from repro.workloads.smallbank import initial_balances
+
+            items = list(initial_balances(self.config.num_keys).items())
+        else:
+            workload = KVStoreWorkload(num_keys=self.config.num_keys)
+            items = [(workload.key_name(i), "0" * 8) for i in range(min(self.config.num_keys, 5000))]
+        for key, value in items:
+            shard_id = self.shard_of_key(key)
+            for replica in self.shards[shard_id].replicas:
+                replica.state.put(key, value)
+
+    def _attach_observers(self) -> None:
+        for shard_id, cluster in self.shards.items():
+            observer = cluster.honest_observer()
+            observer.on_commit(self._make_observer(shard_id))
+        if self.reference is not None:
+            observer = self.reference.honest_observer()
+            observer.on_commit(self._make_observer(REFERENCE_SHARD_ID))
+
+    def _make_observer(self, shard_id: int) -> Callable[[CommitEvent], None]:
+        def on_commit(event: CommitEvent) -> None:
+            for receipt in event.receipts:
+                watcher = self._receipt_watchers.pop(receipt.tx_id, None)
+                if watcher is not None:
+                    watcher(receipt)
+        return on_commit
+
+    # --------------------------------------------------------------- routing
+    def shard_of_key(self, key: str) -> int:
+        """Hash partitioning of the key space over the shards."""
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.config.num_shards
+
+    def shards_for_transaction(self, tx: Transaction) -> List[int]:
+        """The shards whose state a benchmark transaction touches."""
+        try:
+            return self.splitter.shards_touched(tx, self.shard_of_key)
+        except Exception:
+            shards = {self.shard_of_key(key) for key in tx.keys}
+            return sorted(shards) if shards else [0]
+
+    # ------------------------------------------------------------ submission
+    def submit_transaction(self, tx: Transaction,
+                           on_complete: Optional[Callable[[DistributedTxRecord], None]] = None) -> DistributedTxRecord:
+        """Submit a benchmark transaction; the system routes and coordinates it."""
+        shards = self.shards_for_transaction(tx)
+        record = self.coordinator.begin(tx, shards, now=self.sim.now)
+        if on_complete is not None:
+            self._completion_callbacks[tx.tx_id] = on_complete
+        if not record.is_cross_shard:
+            self._submit_single_shard(record)
+        elif self.config.use_reference_committee:
+            self._submit_begin_tx(record)
+        else:
+            self.coordinator.mark_begin_executed(tx.tx_id)
+            self._send_prepares(record)
+        return record
+
+    # -------------------------------------------------------- single shard tx
+    def _submit_single_shard(self, record: DistributedTxRecord) -> None:
+        shard_id = record.shards[0]
+        tx = record.transaction
+        self.coordinator.mark_begin_executed(tx.tx_id)
+
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            self.coordinator.record_prepare_vote(tx.tx_id, shard_id, ok, now=self.sim.now,
+                                                 reason=receipt.error)
+            self.coordinator.record_commit_ack(tx.tx_id, shard_id, now=self.sim.now)
+            self._finish(record)
+
+        self._watch(tx, on_receipt)
+        self._relay(lambda: self.shards[shard_id].submit([tx]))
+
+    # --------------------------------------------------------- cross shard tx
+    def _submit_begin_tx(self, record: DistributedTxRecord) -> None:
+        assert self.reference is not None
+        chaincode = ReferenceCommitteeChaincode()
+        begin = chaincode.new_transaction(
+            "beginTx", {"tx_id": record.tx_id, "num_committees": len(record.shards)},
+            client_id=record.transaction.client_id,
+        )
+
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            self.coordinator.mark_begin_executed(record.tx_id)
+            self._send_prepares(record)
+
+        self._watch(begin, on_receipt)
+        self._relay(lambda: self.reference.submit([begin]))
+
+    def _send_prepares(self, record: DistributedTxRecord) -> None:
+        prepares = self.splitter.prepare_transactions(record.transaction, self.shard_of_key)
+        for shard_id, prepare_tx in prepares.items():
+            self._watch(prepare_tx, self._make_prepare_watcher(record, shard_id))
+            self._relay(lambda sid=shard_id, ptx=prepare_tx: self.shards[sid].submit([ptx]))
+
+    def _make_prepare_watcher(self, record: DistributedTxRecord, shard_id: int):
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            if self.config.use_reference_committee:
+                self._submit_vote(record, shard_id, ok, receipt.error)
+            else:
+                before = record.outcome
+                self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
+                                                     now=self.sim.now, reason=receipt.error)
+                if record.outcome is not DistributedTxOutcome.PENDING and before is DistributedTxOutcome.PENDING:
+                    self._send_decision(record)
+        return on_receipt
+
+    def _submit_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        assert self.reference is not None
+        chaincode = ReferenceCommitteeChaincode()
+        vote = chaincode.new_transaction(
+            "prepareOK" if ok else "prepareNotOK",
+            {"tx_id": record.tx_id, "shard_id": shard_id},
+            client_id=record.transaction.client_id,
+        )
+
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            before = record.outcome
+            self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
+                                                 now=self.sim.now, reason=reason)
+            decided_state = None
+            if receipt.result and isinstance(receipt.result, dict):
+                decided_state = receipt.result.get("state")
+            decided = record.outcome is not DistributedTxOutcome.PENDING
+            if decided and before is DistributedTxOutcome.PENDING:
+                # Sanity: the replicated state machine must agree with the
+                # local bookkeeping (both implement Figure 6).
+                if decided_state == CoordinatorState.ABORTED.value:
+                    assert record.outcome is DistributedTxOutcome.ABORTED
+                self._send_decision(record)
+
+        self._watch(vote, on_receipt)
+        self._relay(lambda: self.reference.submit([vote]))
+
+    def _send_decision(self, record: DistributedTxRecord) -> None:
+        committed = record.outcome is DistributedTxOutcome.COMMITTED
+        if committed:
+            per_shard = self.splitter.commit_transactions(record.transaction, self.shard_of_key)
+        else:
+            per_shard = self.splitter.abort_transactions(record.transaction, self.shard_of_key)
+        for shard_id, decision_tx in per_shard.items():
+            def on_receipt(receipt: TransactionReceipt, sid=shard_id) -> None:
+                self.coordinator.record_commit_ack(record.tx_id, sid, now=self.sim.now)
+                if record.all_acks_in:
+                    self._finish(record)
+            self._watch(decision_tx, on_receipt)
+            self._relay(lambda sid=shard_id, dtx=decision_tx: self.shards[sid].submit([dtx]))
+
+    # ------------------------------------------------------------- completion
+    def _finish(self, record: DistributedTxRecord) -> None:
+        callback = self._completion_callbacks.pop(record.tx_id, None)
+        if callback is not None:
+            callback(record)
+
+    def _watch(self, tx: Transaction, callback: Callable[[TransactionReceipt], None]) -> None:
+        self._receipt_watchers[tx.tx_id] = callback
+
+    def _relay(self, action: Callable[[], None]) -> None:
+        """Submit after the configured client-relay delay."""
+        self.sim.schedule(self.config.relay_delay, action)
+
+    # ------------------------------------------------------------------- run
+    def run(self, duration: float, max_events: Optional[int] = None) -> ShardedRunResult:
+        """Advance the simulation and summarise the coordinator statistics."""
+        self.sim.run(until=self.sim.now + duration, max_events=max_events)
+        return self.result(duration)
+
+    def result(self, duration: float) -> ShardedRunResult:
+        stats = self.coordinator.stats
+        committed = stats.committed
+        aborted = stats.aborted
+        per_shard = {
+            shard_id: cluster.honest_observer().committed_transactions()
+            for shard_id, cluster in self.shards.items()
+        }
+        reference_txs = (self.reference.honest_observer().committed_transactions()
+                         if self.reference is not None else 0)
+        return ShardedRunResult(
+            duration=duration,
+            committed_transactions=committed,
+            aborted_transactions=aborted,
+            throughput_tps=committed / duration if duration > 0 else 0.0,
+            abort_rate=stats.abort_rate,
+            mean_latency=stats.mean_latency,
+            cross_shard_fraction=(stats.cross_shard / stats.started if stats.started else 0.0),
+            per_shard_committed=per_shard,
+            reference_committee_transactions=reference_txs,
+        )
+
+    # -------------------------------------------------------- reconfiguration
+    def perform_reconfiguration(self, strategy: str, at_time: float,
+                                state_transfer_seconds: float = 20.0,
+                                batch_size: Optional[int] = None,
+                                batch_interval: float = 10.0) -> None:
+        """Schedule an epoch transition (Figure 12).
+
+        ``swap-all`` stops every replica of every shard for the state-transfer
+        duration (the naive approach); ``swap-batch`` stops at most ``B``
+        replicas per committee at a time, spaced ``batch_interval`` apart, so
+        each committee keeps a quorum and the system stays available.
+        """
+        if strategy not in ("swap-all", "swap-batch"):
+            raise ConfigurationError(f"unknown reconfiguration strategy {strategy!r}")
+        from repro.sharding.reconfiguration import swap_batch_size
+
+        for cluster in self.shards.values():
+            replicas = cluster.replicas
+            if strategy == "swap-all":
+                for replica in replicas:
+                    self.sim.schedule_at(at_time, replica.crash)
+                    self.sim.schedule_at(at_time + state_transfer_seconds, replica.recover)
+            else:
+                batch = batch_size or swap_batch_size(len(replicas))
+                batch = min(batch, max(1, cluster.config.fault_tolerance(len(replicas))))
+                start = at_time
+                for index in range(0, len(replicas), batch):
+                    for replica in replicas[index:index + batch]:
+                        self.sim.schedule_at(start, replica.crash)
+                        self.sim.schedule_at(start + state_transfer_seconds, replica.recover)
+                    start += max(batch_interval, state_transfer_seconds)
+
+    def throughput_over_time(self, bucket_seconds: float = 5.0) -> List[tuple]:
+        """Committed-transaction rate over time, aggregated across shards."""
+        commits: List[tuple] = []
+        for record in self.coordinator.records.values():
+            if record.outcome is DistributedTxOutcome.COMMITTED and record.completed_at is not None:
+                commits.append((record.completed_at, 1.0))
+        from repro.sim.monitor import TimeSeries
+        series = TimeSeries("commits")
+        series.samples = commits
+        return series.bucketed_rate(bucket_seconds, until=self.sim.now)

@@ -1,0 +1,49 @@
+"""Hashing helpers.
+
+Blocks, transactions and attested-log entries are identified by SHA-256
+digests over a canonical serialisation; :func:`digest_of` provides that
+canonical form for arbitrary JSON-like Python values (dataclasses included).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+
+def _canonical(value: Any) -> Any:
+    """Convert a value into a JSON-serialisable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dc__": type(value).__name__,
+                "fields": _canonical(dataclasses.asdict(value))}
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(item) for item in value)
+    return {"__repr__": repr(value)}
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """SHA-256 digest of raw bytes (or UTF-8 encoded text), as a hex string."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_of(value: Any) -> str:
+    """Deterministic SHA-256 digest of an arbitrary JSON-like Python value."""
+    canonical = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return sha256_hex(canonical)
+
+
+def short_digest(value: Any, length: int = 12) -> str:
+    """Truncated digest, convenient for logging and identifiers."""
+    return digest_of(value)[:length]

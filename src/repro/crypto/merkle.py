@@ -1,0 +1,105 @@
+"""Merkle trees over transaction lists.
+
+Blocks commit to their transactions through a Merkle root; light clients (and
+our tests) can verify membership with logarithmic-size proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from repro.crypto.hashing import digest_of, sha256_hex
+from repro.errors import CryptoError
+
+#: Root value of an empty tree.
+EMPTY_ROOT = sha256_hex(b"empty-merkle-tree")
+
+
+def _hash_pair(left: str, right: str) -> str:
+    return sha256_hex(f"{left}|{right}")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """A membership proof: the leaf index and the sibling hashes bottom-up."""
+
+    leaf_index: int
+    leaf_hash: str
+    siblings: tuple[tuple[str, str], ...]  # (side, hash) where side is "L" or "R"
+
+    def compute_root(self) -> str:
+        """Recompute the root implied by this proof."""
+        current = self.leaf_hash
+        for side, sibling in self.siblings:
+            if side == "L":
+                current = _hash_pair(sibling, current)
+            elif side == "R":
+                current = _hash_pair(current, sibling)
+            else:
+                raise CryptoError(f"invalid proof side {side!r}")
+        return current
+
+
+class MerkleTree:
+    """A binary Merkle tree over a sequence of JSON-like items."""
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        self._leaves: List[str] = [digest_of(item) for item in items]
+        self._levels: List[List[str]] = []
+        self._build()
+
+    def _build(self) -> None:
+        if not self._leaves:
+            self._levels = [[EMPTY_ROOT]]
+            return
+        level = list(self._leaves)
+        self._levels = [level]
+        while len(level) > 1:
+            next_level: List[str] = []
+            for index in range(0, len(level), 2):
+                left = level[index]
+                right = level[index + 1] if index + 1 < len(level) else left
+                next_level.append(_hash_pair(left, right))
+            self._levels.append(next_level)
+            level = next_level
+
+    @property
+    def root(self) -> str:
+        """The Merkle root (a SHA-256 hex digest)."""
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        """Return a membership proof for the leaf at ``leaf_index``."""
+        if not 0 <= leaf_index < len(self._leaves):
+            raise CryptoError(f"leaf index {leaf_index} out of range")
+        siblings: List[tuple[str, str]] = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            if index % 2 == 0:
+                sibling_index = index + 1 if index + 1 < len(level) else index
+                siblings.append(("R", level[sibling_index]))
+            else:
+                siblings.append(("L", level[index - 1]))
+            index //= 2
+        return MerkleProof(
+            leaf_index=leaf_index,
+            leaf_hash=self._leaves[leaf_index],
+            siblings=tuple(siblings),
+        )
+
+    def verify(self, proof: MerkleProof, item: Any) -> bool:
+        """Check that ``item`` is the leaf the proof claims, under this tree's root."""
+        if proof.leaf_hash != digest_of(item):
+            return False
+        return proof.compute_root() == self.root
+
+
+def verify_membership(root: str, proof: MerkleProof, item: Any) -> bool:
+    """Verify a proof against an externally known root."""
+    if proof.leaf_hash != digest_of(item):
+        return False
+    return proof.compute_root() == root

@@ -1,0 +1,108 @@
+"""Simulated digital signatures.
+
+The protocols need signatures that (a) verify correctly only for the signer
+and message they were created for, and (b) can be forged by nobody who lacks
+the private key.  For the simulation we realise this with HMAC-SHA256 over a
+per-key secret: unforgeable within the simulation because the secret never
+leaves the :class:`KeyPair`, and deterministic so runs are reproducible.
+Signing/verification *time* is charged separately by the protocols through
+:class:`~repro.crypto.costs.OperationCosts`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import digest_of
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a message digest by a named signer."""
+
+    signer: str
+    digest: str
+    mac: str
+
+    def covers(self, message: Any) -> bool:
+        """True if this signature was computed over ``message``."""
+        return self.digest == digest_of(message)
+
+
+class KeyPair:
+    """A simulated signing key pair identified by ``owner``.
+
+    The "private key" is an HMAC secret derived from the owner identity and a
+    key seed; the "public key" is the owner identity itself.  Within the
+    simulation, only the holder of the :class:`KeyPair` object can produce
+    valid signatures for that owner.
+    """
+
+    def __init__(self, owner: str, seed: str = "") -> None:
+        self.owner = owner
+        self._secret = hashlib.sha256(f"key:{owner}:{seed}".encode("utf-8")).digest()
+
+    @property
+    def public_key(self) -> str:
+        """The public identity bound to signatures from this key."""
+        return self.owner
+
+    def sign(self, message: Any) -> Signature:
+        """Sign an arbitrary JSON-like message."""
+        digest = digest_of(message)
+        mac = hmac.new(self._secret, digest.encode("utf-8"), hashlib.sha256).hexdigest()
+        return Signature(signer=self.owner, digest=digest, mac=mac)
+
+    def verify_own(self, signature: Signature, message: Any) -> bool:
+        """Verify a signature allegedly produced by this key."""
+        if signature.signer != self.owner:
+            return False
+        expected = self.sign(message)
+        return hmac.compare_digest(expected.mac, signature.mac)
+
+
+class SignatureVerifier:
+    """A registry of public keys that can verify signatures from any registered signer."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, KeyPair] = {}
+
+    def register(self, keypair: KeyPair) -> None:
+        self._keys[keypair.owner] = keypair
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        keypair = self._keys.get(signature.signer)
+        if keypair is None:
+            return False
+        return keypair.verify_own(signature, message)
+
+
+#: A process-wide registry used when protocols verify each other's signatures.
+_GLOBAL_VERIFIER = SignatureVerifier()
+
+
+def register_keypair(keypair: KeyPair) -> None:
+    """Register a key pair with the global verifier."""
+    _GLOBAL_VERIFIER.register(keypair)
+
+
+def verify_signature(signature: Signature, message: Any, keypair: KeyPair | None = None) -> bool:
+    """Verify ``signature`` over ``message``.
+
+    If ``keypair`` is given it must be the signer's key pair; otherwise the
+    global registry is consulted.
+    """
+    if keypair is not None:
+        return keypair.verify_own(signature, message)
+    return _GLOBAL_VERIFIER.verify(signature, message)
+
+
+def require_valid_signature(signature: Signature, message: Any,
+                            keypair: KeyPair | None = None) -> None:
+    """Raise :class:`CryptoError` unless the signature verifies."""
+    if not verify_signature(signature, message, keypair):
+        raise CryptoError(f"invalid signature from {signature.signer!r}")

@@ -1,0 +1,46 @@
+"""Figure 2: comparison of BFT implementations (HL, Tendermint, IBFT, Raft).
+
+Left: throughput as the number of nodes grows.  Right: throughput as the
+number of concurrent clients grows at a fixed committee size.  The paper's
+finding is that Hyperledger's pipelined PBFT outperforms the lockstep
+alternatives at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+PROTOCOLS = ("HL", "Tendermint", "IBFT", "Raft")
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        network_sizes: Optional[Sequence[int]] = None,
+        client_counts: Sequence[int] = (1, 4, 16),
+        client_n: int = 7) -> ExperimentResult:
+    """Reproduce Figure 2 (both panels)."""
+    scale = scale or ExperimentScale.quick()
+    network_sizes = network_sizes or scale.network_sizes
+    result = ExperimentResult(
+        experiment_id="fig02",
+        title="BFT protocol comparison (varying N and #clients)",
+        columns=["panel", "protocol", "n", "clients", "throughput_tps", "avg_latency_s"],
+        paper_reference="Figure 2",
+        notes="Expected shape: HL (pipelined PBFT) >= Tendermint > Raft/IBFT at scale.",
+    )
+    for protocol in PROTOCOLS:
+        for n in network_sizes:
+            point = run_consensus_point(protocol, n, scale)
+            result.add_row(panel="varying_n", protocol=protocol, n=n,
+                           clients=scale.clients,
+                           throughput_tps=point.throughput_tps,
+                           avg_latency_s=point.avg_latency)
+    for protocol in PROTOCOLS:
+        for clients in client_counts:
+            point = run_consensus_point(protocol, client_n, scale, clients=clients)
+            result.add_row(panel="varying_clients", protocol=protocol, n=client_n,
+                           clients=clients,
+                           throughput_tps=point.throughput_tps,
+                           avg_latency_s=point.avg_latency)
+    return result

@@ -1,0 +1,44 @@
+"""Figure 9: AHL+ versus HL / AHL / AHLR on GCP (4 and 8 regions).
+
+Same protocols as Figure 8, but nodes are spread over the Table-3 regions, so
+commit latency is dominated by WAN round trips.  The paper observes that HL
+and AHL show no throughput at all in this setting, while AHL+ and AHLR stay
+above 200 tps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+PROTOCOLS = ("HL", "AHL", "AHL+", "AHLR")
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        network_sizes: Optional[Sequence[int]] = None,
+        region_counts: Sequence[int] = (4, 8),
+        high_load_rate: float = 600.0) -> ExperimentResult:
+    """Reproduce Figure 9 (4-region and 8-region panels)."""
+    scale = scale or ExperimentScale.quick()
+    network_sizes = network_sizes or scale.network_sizes
+    result = ExperimentResult(
+        experiment_id="fig09",
+        title="AHL+ performance on GCP",
+        columns=["regions", "protocol", "n", "throughput_tps", "avg_latency_s",
+                 "view_changes", "queue_drops"],
+        paper_reference="Figure 9",
+        notes="Expected shape: AHL+ and AHLR sustain throughput over WAN; HL/AHL collapse.",
+    )
+    for regions in region_counts:
+        for protocol in PROTOCOLS:
+            for n in network_sizes:
+                point = run_consensus_point(protocol, n, scale, environment="gcp",
+                                            num_regions=regions,
+                                            client_rate=high_load_rate)
+                result.add_row(regions=regions, protocol=protocol, n=n,
+                               throughput_tps=point.throughput_tps,
+                               avg_latency_s=point.avg_latency,
+                               view_changes=point.view_changes,
+                               queue_drops=point.queue_drops)
+    return result

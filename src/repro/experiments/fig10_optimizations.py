@@ -1,0 +1,57 @@
+"""Figure 10: contribution of each optimisation.
+
+Against the HL baseline, the ablation adds: trusted hardware (AHL),
+optimisation 1 (separate message queues), optimisation 2 (no request
+broadcast), and optimisation 3 (leader aggregation, AHLR).  The paper finds
+optimisation 2 helps most without failures, optimisation 1 helps most under
+Byzantine failures, and AHL+ (1 + 2) is the best overall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.consensus.byzantine import EquivocatingAttacker
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+#: Ablation ladder: display label -> (protocol registry key).
+VARIANTS = (
+    ("HL", "HL"),
+    ("AHL", "AHL"),
+    ("AHL + op1", "AHL+op1"),
+    ("AHL + op1,2 (AHL+)", "AHL+"),
+    ("AHL + op1,2,3 (AHLR)", "AHLR"),
+)
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        network_sizes: Sequence[int] = (7, 19),
+        failure_counts: Sequence[int] = (2, 5),
+        high_load_rate: float = 600.0) -> ExperimentResult:
+    """Reproduce Figure 10: throughput of each optimisation step."""
+    scale = scale or ExperimentScale.quick()
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Effect of the optimisations on throughput",
+        columns=["panel", "variant", "n", "f", "throughput_tps", "view_changes", "queue_drops"],
+        paper_reference="Figure 10",
+        notes="Expected shape: op2 adds the most without failures, op1 the most with failures.",
+    )
+    for label, protocol in VARIANTS:
+        for n in network_sizes:
+            point = run_consensus_point(protocol, n, scale, client_rate=high_load_rate)
+            result.add_row(panel="no_failures", variant=label, n=n, f=None,
+                           throughput_tps=point.throughput_tps,
+                           view_changes=point.view_changes,
+                           queue_drops=point.queue_drops)
+    for label, protocol in VARIANTS:
+        for f in failure_counts:
+            n = 3 * f + 1 if protocol == "HL" else 2 * f + 1
+            attacker = EquivocatingAttacker(list(range(n - f, n)))
+            point = run_consensus_point(protocol, n, scale, byzantine=attacker,
+                                        client_rate=high_load_rate)
+            result.add_row(panel="with_failures", variant=label, n=n, f=f,
+                           throughput_tps=point.throughput_tps,
+                           view_changes=point.view_changes,
+                           queue_drops=point.queue_drops)
+    return result

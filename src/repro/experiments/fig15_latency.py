@@ -1,0 +1,32 @@
+"""Figure 15 (Appendix C): consensus latency on the cluster and on GCP."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+PROTOCOLS = ("HL", "AHL", "AHL+", "AHLR")
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        network_sizes: Optional[Sequence[int]] = None,
+        environments: Sequence[str] = ("cluster", "gcp")) -> ExperimentResult:
+    """Reproduce Figure 15: average commit latency versus committee size."""
+    scale = scale or ExperimentScale.quick()
+    network_sizes = network_sizes or scale.network_sizes
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="AHL+ latency on the local cluster and on GCP",
+        columns=["environment", "protocol", "n", "avg_latency_s", "p95_latency_s"],
+        paper_reference="Figure 15",
+        notes="Expected shape: latency grows with N; WAN latencies dominate on GCP.",
+    )
+    for environment in environments:
+        for protocol in PROTOCOLS:
+            for n in network_sizes:
+                point = run_consensus_point(protocol, n, scale, environment=environment)
+                result.add_row(environment=environment, protocol=protocol, n=n,
+                               avg_latency_s=point.avg_latency,
+                               p95_latency_s=point.p95_latency)
+    return result

@@ -1,0 +1,51 @@
+"""Figure 16 (Appendix C): number of view changes, normal case and worst case.
+
+Normal case: no Byzantine nodes — view changes only happen when overload
+causes timeouts (which is how HL/AHL livelock at large N).  Worst case:
+``f`` Byzantine nodes that go silent whenever they hold the leader role,
+forcing a view change per stalled instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.consensus.byzantine import SilentLeader
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+PROTOCOLS = ("HL", "AHL", "AHL+", "AHLR")
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        network_sizes: Optional[Sequence[int]] = None,
+        failure_counts: Sequence[int] = (1, 3, 5),
+        high_load_rate: float = 600.0) -> ExperimentResult:
+    """Reproduce Figure 16 (view-change counts)."""
+    scale = scale or ExperimentScale.quick()
+    network_sizes = network_sizes or scale.network_sizes
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Number of view changes (normal case and worst case)",
+        columns=["panel", "protocol", "n", "f", "view_changes", "throughput_tps"],
+        paper_reference="Figure 16",
+        notes=("Expected shape: almost no view changes at small N; HL/AHL accumulate view "
+               "changes as N grows under load; Byzantine leaders force view changes for "
+               "every protocol."),
+    )
+    for protocol in PROTOCOLS:
+        for n in network_sizes:
+            point = run_consensus_point(protocol, n, scale, client_rate=high_load_rate)
+            result.add_row(panel="normal_case", protocol=protocol, n=n, f=None,
+                           view_changes=point.view_changes,
+                           throughput_tps=point.throughput_tps)
+    for protocol in PROTOCOLS:
+        for f in failure_counts:
+            n = 3 * f + 1 if protocol == "HL" else 2 * f + 1
+            # Corrupt the first f nodes so the initial leader is Byzantine,
+            # which is the worst case for the view-change count.
+            attacker = SilentLeader(list(range(f)))
+            point = run_consensus_point(protocol, n, scale, byzantine=attacker)
+            result.add_row(panel="worst_case", protocol=protocol, n=n, f=f,
+                           view_changes=point.view_changes,
+                           throughput_tps=point.throughput_tps)
+    return result

@@ -1,0 +1,50 @@
+"""Figure 18 (Appendix C): sharding throughput, KVStore versus Smallbank.
+
+Same setup as Figure 13 (f = 1 committees, closed-loop clients), comparing
+the two benchmarks under AHL+-based and HL-based sharding.  KVStore issues 3
+updates per transaction, Smallbank reads and writes 2 accounts, so their
+cross-shard profiles differ slightly but the scaling shape is the same.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.client_api import attach_clients
+from repro.core.config import ShardedSystemConfig
+from repro.core.system import ShardedBlockchain
+from repro.experiments.common import ExperimentResult
+
+
+def run(network_sizes: Sequence[int] = (8, 12, 18),
+        duration: float = 20.0, clients_per_shard: int = 4, outstanding: int = 16,
+        num_keys: int = 1000, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 18 (KVStore vs Smallbank sharded throughput)."""
+    result = ExperimentResult(
+        experiment_id="fig18",
+        title="Sharding with KVStore vs Smallbank",
+        columns=["series", "benchmark", "protocol", "n_total", "num_shards", "throughput_tps"],
+        paper_reference="Figure 18",
+        notes="Expected shape: both benchmarks scale with the shard count; AHL+ > HL sharding.",
+    )
+    for benchmark, tag in (("smallbank", "SB"), ("kvstore", "KVS")):
+        for protocol in ("AHL+", "HL"):
+            committee_size = 3 if protocol == "AHL+" else 4
+            for total_nodes in network_sizes:
+                num_shards = max(1, total_nodes // committee_size)
+                config = ShardedSystemConfig(
+                    num_shards=num_shards, committee_size=committee_size,
+                    protocol=protocol, use_reference_committee=False,
+                    benchmark=benchmark, num_keys=num_keys,
+                    consensus_overrides={"batch_size": 30, "view_change_timeout": 5.0},
+                    seed=seed,
+                )
+                system = ShardedBlockchain(config)
+                attach_clients(system, count=clients_per_shard * num_shards,
+                               outstanding=outstanding)
+                outcome = system.run(duration)
+                result.add_row(series=f"{tag}-{protocol}", benchmark=benchmark,
+                               protocol=protocol, n_total=total_nodes,
+                               num_shards=num_shards,
+                               throughput_tps=outcome.throughput_tps)
+    return result

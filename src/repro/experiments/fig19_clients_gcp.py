@@ -1,0 +1,38 @@
+"""Figure 19 (Appendix C): throughput with a varying number of clients on GCP.
+
+Two aggregate request rates (256 and 1024 requests/second) spread over a
+growing number of clients; the committee runs on the 8-region WAN model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ExperimentScale, run_consensus_point
+
+PROTOCOLS = ("HL", "AHL+", "AHLR")
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        client_counts: Sequence[int] = (1, 4, 16, 64),
+        request_rates: Sequence[float] = (256.0, 1024.0),
+        n: int = 7) -> ExperimentResult:
+    """Reproduce Figure 19 (throughput vs #clients at fixed aggregate request rates)."""
+    scale = scale or ExperimentScale.quick()
+    result = ExperimentResult(
+        experiment_id="fig19",
+        title="Throughput with varying workload on GCP",
+        columns=["request_rate", "protocol", "clients", "throughput_tps", "avg_latency_s"],
+        paper_reference="Figure 19",
+        notes="Expected shape: throughput saturates once the offered rate exceeds capacity.",
+    )
+    for rate in request_rates:
+        for protocol in PROTOCOLS:
+            for clients in client_counts:
+                per_client = max(1.0, rate / clients)
+                point = run_consensus_point(protocol, n, scale, environment="gcp",
+                                            clients=clients, client_rate=per_client)
+                result.add_row(request_rate=rate, protocol=protocol, clients=clients,
+                               throughput_tps=point.throughput_tps,
+                               avg_latency_s=point.avg_latency)
+    return result

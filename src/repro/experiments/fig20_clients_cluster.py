@@ -1,0 +1,68 @@
+"""Figure 20 (Appendix C): throughput with a varying number of clients on the cluster.
+
+Smallbank and KVStore single-committee workloads with an increasing number of
+open-loop clients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.consensus.cluster import ConsensusCluster
+from repro.experiments.common import ExperimentResult, ExperimentScale, cluster_latency_model
+from repro.ledger.chaincode import ChaincodeRegistry
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+PROTOCOLS = ("HL", "AHL", "AHL+", "AHLR")
+
+
+def _run_point(protocol: str, n: int, clients: int, benchmark: str,
+               scale: ExperimentScale, seed: int = 0):
+    if benchmark == "smallbank":
+        workload = SmallbankWorkload(num_accounts=2000, seed=seed)
+    else:
+        workload = KVStoreWorkload(num_keys=2000, seed=seed)
+
+    def registry_factory() -> ChaincodeRegistry:
+        registry = ChaincodeRegistry()
+        registry.register(workload.chaincode)
+        return registry
+
+    cluster = ConsensusCluster(
+        protocol=protocol, n=n,
+        latency_model=cluster_latency_model("cluster"),
+        config_overrides={"batch_size": scale.batch_size,
+                          "view_change_timeout": scale.view_change_timeout,
+                          "queue_capacity": scale.queue_capacity},
+        registry_factory=registry_factory,
+        seed=seed,
+    )
+    for replica in cluster.replicas:
+        workload.populate(replica.state)
+    cluster.add_open_loop_clients(clients, rate_tps=scale.client_rate_tps, batch_size=10,
+                                  tx_factory=workload.tx_factory())
+    return cluster.run(scale.duration)
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        client_counts: Sequence[int] = (1, 4, 16),
+        n: int = 7,
+        benchmarks: Sequence[str] = ("smallbank", "kvstore")) -> ExperimentResult:
+    """Reproduce Figure 20 (throughput vs #clients, Smallbank and KVStore)."""
+    scale = scale or ExperimentScale.quick()
+    result = ExperimentResult(
+        experiment_id="fig20",
+        title="Throughput with varying workload on the local cluster",
+        columns=["benchmark", "protocol", "clients", "throughput_tps", "avg_latency_s"],
+        paper_reference="Figure 20",
+        notes="Expected shape: throughput rises with offered load, then saturates.",
+    )
+    for benchmark in benchmarks:
+        for protocol in PROTOCOLS:
+            for clients in client_counts:
+                point = _run_point(protocol, n, clients, benchmark, scale)
+                result.add_row(benchmark=benchmark, protocol=protocol, clients=clients,
+                               throughput_tps=point.throughput_tps,
+                               avg_latency_s=point.avg_latency)
+    return result

@@ -1,0 +1,40 @@
+"""Figure 22 (Appendix C.1): PoET versus PoET+ stale block rate.
+
+Same runs as Figure 21, reporting the fraction of produced blocks that end up
+off the main chain.  The paper reports PoET reaching ~15% stale blocks at
+N = 128 while PoET+ stays around 3%.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.poet import PoetNetworkConfig, run_poet_network
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig21_poet_throughput import _duration_for
+
+
+def run(network_sizes: Sequence[int] = (2, 8, 32),
+        block_sizes_mb: Sequence[float] = (2.0, 8.0),
+        wait_scale: float = 240.0,
+        seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 22 (stale block rate)."""
+    result = ExperimentResult(
+        experiment_id="fig22",
+        title="PoET and PoET+ stale block rate",
+        columns=["series", "protocol", "block_size_mb", "n", "stale_rate", "total_blocks"],
+        paper_reference="Figure 22",
+        notes="Expected shape: stale rate grows with N and block size; PoET+ well below PoET.",
+    )
+    for block_size in block_sizes_mb:
+        for n in network_sizes:
+            for protocol, q_bits in (("PoET", 0), ("PoET+", PoetNetworkConfig.poet_plus_q_bits(n))):
+                config = PoetNetworkConfig(
+                    n=n, block_size_mb=block_size, wait_scale=wait_scale, q_bits=q_bits,
+                )
+                outcome = run_poet_network(config, duration=_duration_for(config), seed=seed)
+                result.add_row(series=f"{protocol} {block_size:g}MB", protocol=protocol,
+                               block_size_mb=block_size, n=n,
+                               stale_rate=outcome.stale_rate,
+                               total_blocks=outcome.total_blocks)
+    return result

@@ -1,0 +1,31 @@
+"""Table 3: inter-region latency on Google Cloud Platform.
+
+The matrix is an *input* to the WAN experiments; the experiment verifies that
+the latency model reproduces it (and reports the derived one-way delays the
+simulator actually uses).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.sim.latency import GCP_REGIONS, GCP_REGION_LATENCY_MS, gcp_latency_model
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table 3 and the derived one-way model delays."""
+    model = gcp_latency_model(num_regions=len(GCP_REGIONS), jitter_fraction=0.0)
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Latency (ms) between GCP regions",
+        columns=["src", "dst", "paper_rtt_ms", "model_one_way_ms"],
+        paper_reference="Table 3",
+    )
+    for src in GCP_REGIONS:
+        for dst in GCP_REGIONS:
+            one_way = model.delay(src, dst, size_bytes=0) * 1000.0
+            result.add_row(
+                src=src, dst=dst,
+                paper_rtt_ms=GCP_REGION_LATENCY_MS[src][dst],
+                model_one_way_ms=one_way,
+            )
+    return result

@@ -1,0 +1,96 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.crypto.hashing import digest_of
+from repro.crypto.merkle import MerkleTree
+from repro.ledger.transaction import Transaction
+
+#: Previous-hash value of the genesis block.
+GENESIS_PREV_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header of a block: position in the chain plus commitments to its content."""
+
+    height: int
+    prev_hash: str
+    merkle_root: str
+    proposer: int
+    view: int = 0
+    timestamp: float = 0.0
+    shard_id: int = 0
+
+    @property
+    def block_hash(self) -> str:
+        """Digest of the header — the block identifier used by hash pointers."""
+        return digest_of({
+            "height": self.height,
+            "prev_hash": self.prev_hash,
+            "merkle_root": self.merkle_root,
+            "proposer": self.proposer,
+            "view": self.view,
+            "timestamp": self.timestamp,
+            "shard_id": self.shard_id,
+        })
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block: header plus the ordered list of transactions it commits."""
+
+    header: BlockHeader
+    transactions: Tuple[Transaction, ...] = field(default_factory=tuple)
+
+    @property
+    def block_hash(self) -> str:
+        return self.header.block_hash
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def prev_hash(self) -> str:
+        return self.header.prev_hash
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def verify_merkle_root(self) -> bool:
+        """Check that the header's Merkle root matches the transaction list."""
+        return MerkleTree([tx.digest for tx in self.transactions]).root == self.header.merkle_root
+
+
+def build_block(height: int, prev_hash: str, transactions: Tuple[Transaction, ...],
+                proposer: int, view: int = 0, timestamp: float = 0.0,
+                shard_id: int = 0) -> Block:
+    """Construct a block, computing the transaction Merkle root."""
+    merkle_root = MerkleTree([tx.digest for tx in transactions]).root
+    header = BlockHeader(
+        height=height,
+        prev_hash=prev_hash,
+        merkle_root=merkle_root,
+        proposer=proposer,
+        view=view,
+        timestamp=timestamp,
+        shard_id=shard_id,
+    )
+    return Block(header=header, transactions=tuple(transactions))
+
+
+def make_genesis_block(shard_id: int = 0) -> Block:
+    """The genesis block of a shard's chain."""
+    return build_block(
+        height=0,
+        prev_hash=GENESIS_PREV_HASH,
+        transactions=(),
+        proposer=-1,
+        view=0,
+        timestamp=0.0,
+        shard_id=shard_id,
+    )

@@ -1,0 +1,165 @@
+"""Chains: the append-only BFT chain and the fork-capable Nakamoto chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidBlockError
+from repro.ledger.block import Block, make_genesis_block
+
+
+class Blockchain:
+    """An append-only, fork-free chain as maintained by BFT committees.
+
+    BFT consensus totally orders blocks, so the chain never forks; appending
+    a block whose ``prev_hash`` or ``height`` does not extend the tip is an
+    error.
+    """
+
+    def __init__(self, shard_id: int = 0, genesis: Optional[Block] = None) -> None:
+        self.shard_id = shard_id
+        self._blocks: List[Block] = [genesis or make_genesis_block(shard_id)]
+        self._by_hash: Dict[str, Block] = {self._blocks[0].block_hash: self._blocks[0]}
+
+    # ----------------------------------------------------------------- access
+    @property
+    def height(self) -> int:
+        """Height of the tip block."""
+        return self._blocks[-1].height
+
+    @property
+    def tip(self) -> Block:
+        return self._blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise InvalidBlockError(f"no block at height {height}")
+        return self._blocks[height]
+
+    def block_by_hash(self, block_hash: str) -> Optional[Block]:
+        return self._by_hash.get(block_hash)
+
+    def blocks(self) -> List[Block]:
+        """A copy of the chain, genesis first."""
+        return list(self._blocks)
+
+    def total_transactions(self) -> int:
+        return sum(len(block) for block in self._blocks)
+
+    # ----------------------------------------------------------------- append
+    def append(self, block: Block) -> None:
+        """Append ``block`` to the tip; validates height, hash pointer and Merkle root."""
+        tip = self.tip
+        if block.height != tip.height + 1:
+            raise InvalidBlockError(
+                f"expected height {tip.height + 1}, got {block.height}"
+            )
+        if block.prev_hash != tip.block_hash:
+            raise InvalidBlockError("previous-hash pointer does not match the tip")
+        if not block.verify_merkle_root():
+            raise InvalidBlockError("merkle root does not match the block's transactions")
+        self._blocks.append(block)
+        self._by_hash[block.block_hash] = block
+
+    def verify_chain(self) -> bool:
+        """Re-validate every hash pointer in the chain."""
+        for prev, current in zip(self._blocks, self._blocks[1:]):
+            if current.prev_hash != prev.block_hash or current.height != prev.height + 1:
+                return False
+            if not current.verify_merkle_root():
+                return False
+        return True
+
+
+@dataclass
+class _ForkNode:
+    block: Block
+    depth: int
+    children: List[str] = field(default_factory=list)
+
+
+class ForkableChain:
+    """A block tree with longest-chain selection, for PoET/PoET+.
+
+    Nakamoto-style protocols fork when multiple leaders propose at roughly
+    the same time; the fork is resolved in favour of the longest branch and
+    blocks on losing branches become **stale blocks** — the quantity Figure 22
+    reports.
+    """
+
+    def __init__(self, shard_id: int = 0) -> None:
+        genesis = make_genesis_block(shard_id)
+        self._nodes: Dict[str, _ForkNode] = {
+            genesis.block_hash: _ForkNode(block=genesis, depth=0)
+        }
+        self._best_tip = genesis.block_hash
+        self.shard_id = shard_id
+
+    # ----------------------------------------------------------------- access
+    @property
+    def best_tip(self) -> Block:
+        """Tip of the currently longest branch."""
+        return self._nodes[self._best_tip].block
+
+    @property
+    def height(self) -> int:
+        return self._nodes[self._best_tip].depth
+
+    def contains(self, block_hash: str) -> bool:
+        return block_hash in self._nodes
+
+    def total_blocks(self) -> int:
+        """All blocks ever added, including genesis and stale blocks."""
+        return len(self._nodes)
+
+    def main_chain(self) -> List[Block]:
+        """Blocks on the longest branch, genesis first."""
+        chain: List[Block] = []
+        cursor: Optional[str] = self._best_tip
+        while cursor is not None:
+            node = self._nodes[cursor]
+            chain.append(node.block)
+            cursor = node.block.prev_hash if node.depth > 0 else None
+            if cursor is not None and cursor not in self._nodes:
+                break
+        return list(reversed(chain))
+
+    def stale_blocks(self) -> int:
+        """Number of non-genesis blocks that are not on the main chain."""
+        on_main = {block.block_hash for block in self.main_chain()}
+        return sum(
+            1 for block_hash in self._nodes
+            if block_hash not in on_main
+        )
+
+    def stale_rate(self) -> float:
+        """Stale blocks divided by total non-genesis blocks (Figure 22's metric)."""
+        produced = self.total_blocks() - 1
+        if produced <= 0:
+            return 0.0
+        return self.stale_blocks() / produced
+
+    # ----------------------------------------------------------------- append
+    def add_block(self, block: Block) -> bool:
+        """Add a block extending any known block.
+
+        Returns True if the block extended the main chain (i.e. became the
+        new best tip), False if it created or extended a side branch.
+        Raises :class:`InvalidBlockError` if the parent is unknown.
+        """
+        if block.block_hash in self._nodes:
+            return False
+        parent = self._nodes.get(block.prev_hash)
+        if parent is None:
+            raise InvalidBlockError("parent block is unknown")
+        depth = parent.depth + 1
+        self._nodes[block.block_hash] = _ForkNode(block=block, depth=depth)
+        parent.children.append(block.block_hash)
+        if depth > self._nodes[self._best_tip].depth:
+            self._best_tip = block.block_hash
+            return True
+        return False

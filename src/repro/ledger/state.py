@@ -1,0 +1,90 @@
+"""Versioned key-value world state.
+
+Hyperledger models blockchain state as key-value tuples accessible to
+chaincode during execution; each shard owns a disjoint partition of the key
+space.  :class:`StateStore` provides the get/put/delete interface, version
+counters (for write-conflict detection), snapshots (for shard state transfer
+during reconfiguration) and simple usage statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A state value together with its version number."""
+
+    value: Any
+    version: int
+
+
+class StateStore:
+    """A key-value store with per-key versions."""
+
+    def __init__(self, shard_id: int = 0) -> None:
+        self.shard_id = shard_id
+        self._data: Dict[str, VersionedValue] = {}
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+
+    # ------------------------------------------------------------------ basic
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value stored at ``key``, or ``default``."""
+        self.reads += 1
+        entry = self._data.get(key)
+        return entry.value if entry is not None else default
+
+    def get_versioned(self, key: str) -> Optional[VersionedValue]:
+        """Value and version, or None if absent."""
+        self.reads += 1
+        return self._data.get(key)
+
+    def put(self, key: str, value: Any) -> int:
+        """Store ``value`` at ``key``; returns the new version number."""
+        self.writes += 1
+        current = self._data.get(key)
+        version = (current.version + 1) if current is not None else 1
+        self._data[key] = VersionedValue(value=value, version=version)
+        return version
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns True if it existed."""
+        self.deletes += 1
+        return self._data.pop(key, None) is not None
+
+    def exists(self, key: str) -> bool:
+        return key in self._data
+
+    def version(self, key: str) -> int:
+        """Version of ``key`` (0 if absent)."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else 0
+
+    # ------------------------------------------------------------------ bulk
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return ((key, entry.value) for key, entry in self._data.items())
+
+    def snapshot(self) -> Dict[str, VersionedValue]:
+        """A copy of the full state, used for shard state transfer."""
+        return dict(self._data)
+
+    def restore(self, snapshot: Dict[str, VersionedValue]) -> None:
+        """Replace the state with a snapshot (new member joining a committee)."""
+        self._data = dict(snapshot)
+
+    def size_bytes(self, per_entry_overhead: int = 64) -> int:
+        """Rough serialised size, used to model state-transfer duration."""
+        total = 0
+        for key, entry in self._data.items():
+            total += len(key) + len(str(entry.value)) + per_entry_overhead
+        return total

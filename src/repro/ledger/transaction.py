@@ -1,0 +1,96 @@
+"""Transactions and receipts."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.hashing import digest_of
+
+_TX_COUNTER = itertools.count()
+
+
+class TxStatus(str, Enum):
+    """Lifecycle status of a transaction."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A chaincode invocation.
+
+    Attributes
+    ----------
+    tx_id:
+        Unique identifier (assigned by :func:`Transaction.create`).
+    chaincode / function / args:
+        The chaincode name, function name and argument mapping.
+    client_id:
+        Identifier of the submitting client.
+    keys:
+        State keys the transaction touches; used for shard routing, lock
+        acquisition and the cross-shard probability analysis.
+    """
+
+    tx_id: str
+    chaincode: str
+    function: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    client_id: str = "client"
+    keys: Tuple[str, ...] = ()
+    submitted_at: float = 0.0
+
+    @staticmethod
+    def create(chaincode: str, function: str, args: Optional[Dict[str, Any]] = None,
+               client_id: str = "client", keys: Tuple[str, ...] = (),
+               submitted_at: float = 0.0) -> "Transaction":
+        """Create a transaction with a fresh unique identifier."""
+        args = args or {}
+        seq = next(_TX_COUNTER)
+        tx_id = f"tx-{seq}-{digest_of((chaincode, function, args, client_id, seq))[:8]}"
+        return Transaction(
+            tx_id=tx_id,
+            chaincode=chaincode,
+            function=function,
+            args=dict(args),
+            client_id=client_id,
+            keys=tuple(keys),
+            submitted_at=submitted_at,
+        )
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the transaction."""
+        return digest_of({
+            "tx_id": self.tx_id,
+            "chaincode": self.chaincode,
+            "function": self.function,
+            "args": self.args,
+        })
+
+    def num_arguments(self) -> int:
+        """Number of distinct state keys touched (``d`` in Appendix B)."""
+        return len(set(self.keys))
+
+
+@dataclass
+class TransactionReceipt:
+    """The result of executing a transaction."""
+
+    tx_id: str
+    status: TxStatus
+    result: Any = None
+    error: Optional[str] = None
+    block_height: Optional[int] = None
+    shard_id: Optional[int] = None
+    committed_at: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TxStatus.COMMITTED

@@ -1,0 +1,27 @@
+"""Analytical performance model.
+
+The largest sweeps of the paper (up to 972 consensus nodes over 8 regions,
+Figure 14) are too big to replay message-by-message in a Python DES within a
+benchmark run.  This package provides a closed-form model of per-block cost
+and throughput for the PBFT-family protocols, derived from the same
+quantities the DES uses (quorum sizes, crypto costs, network latency), plus a
+sharded-system model that composes per-shard throughput with the cross-shard
+coordination overhead.  The model is validated against the DES at small
+committee sizes in ``tests/test_perfmodel_validation.py``.
+"""
+
+from repro.perfmodel.throughput import (
+    ProtocolModel,
+    protocol_model,
+    committee_throughput,
+    committee_latency,
+    sharded_throughput,
+)
+
+__all__ = [
+    "ProtocolModel",
+    "protocol_model",
+    "committee_throughput",
+    "committee_latency",
+    "sharded_throughput",
+]

@@ -1,0 +1,146 @@
+"""Closed-form throughput and latency for the PBFT-family protocols.
+
+The model mirrors the DES cost accounting:
+
+* the **leader** pays request handling, block assembly, signing and (for
+  AHLR) vote aggregation;
+* every **replica** pays signature verification for the pre-prepare and for
+  the prepare/commit votes it needs to reach its quorum, plus block
+  execution;
+* with pipelining, steady-state throughput is ``batch_size`` divided by the
+  per-block CPU time of the busiest node; without pipelining (lockstep
+  protocols) the block commit latency — three message delays plus the same
+  CPU work — bounds the rate instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.costs import DEFAULT_COSTS, OperationCosts
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """Analytical description of one protocol variant."""
+
+    name: str
+    resilience: float            # fraction of faults tolerated: 1/3 or 1/2
+    attested: bool               # AHL family (append on send)
+    leader_aggregation: bool     # AHLR
+    pipelined: bool = True
+
+    def fault_tolerance(self, n: int) -> int:
+        return int((n - 1) * self.resilience)
+
+    def quorum(self, n: int) -> int:
+        f = self.fault_tolerance(n)
+        return f + 1 if self.resilience >= 0.5 else 2 * f + 1
+
+
+_MODELS = {
+    "HL": ProtocolModel("HL", resilience=1 / 3, attested=False, leader_aggregation=False),
+    "AHL": ProtocolModel("AHL", resilience=1 / 2, attested=True, leader_aggregation=False),
+    "AHL+": ProtocolModel("AHL+", resilience=1 / 2, attested=True, leader_aggregation=False),
+    "AHLR": ProtocolModel("AHLR", resilience=1 / 2, attested=True, leader_aggregation=True),
+}
+
+
+def protocol_model(name: str) -> ProtocolModel:
+    try:
+        return _MODELS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; analytical models exist for {sorted(_MODELS)}"
+        ) from exc
+
+
+def _per_block_cpu(model: ProtocolModel, n: int, batch_size: int,
+                   costs: OperationCosts, proposal_overhead: float,
+                   request_share: float) -> float:
+    """CPU seconds the busiest node spends per block."""
+    quorum = model.quorum(n)
+    sign = costs.attested_append() if model.attested else costs.ecdsa_sign
+    # Request intake at the leader: one signature verification per client
+    # batch plus a hash per transaction; ``request_share`` is the fraction of
+    # offered transactions this node has to verify (1.0 at the leader when
+    # requests are forwarded, ~1.0 at every replica when they are broadcast).
+    request_cost = request_share * batch_size * (costs.ecdsa_verify / 10 + costs.sha256)
+    execution = costs.block_execution(batch_size)
+    pre_prepare = costs.ecdsa_verify + costs.sha256 * batch_size
+    if model.leader_aggregation:
+        # The leader verifies and aggregates two quorums per block and every
+        # replica verifies two aggregate certificates; the leader is busiest.
+        leader = (request_cost + proposal_overhead + sign
+                  + 2 * costs.ahlr_aggregation(quorum) + execution)
+        return leader
+    votes = 2 * quorum * costs.ecdsa_verify
+    leader = request_cost + proposal_overhead + sign * 2 + votes + execution
+    replica = pre_prepare + sign * 2 + votes + execution
+    return max(leader, replica)
+
+
+def committee_latency(protocol: str, n: int, batch_size: int = 100,
+                      one_way_delay: float = 0.0005,
+                      costs: OperationCosts = DEFAULT_COSTS,
+                      proposal_overhead: float = 0.025,
+                      request_share: float = 1.0) -> float:
+    """Expected commit latency of one block (proposal to execution)."""
+    model = protocol_model(protocol)
+    cpu = _per_block_cpu(model, n, batch_size, costs, proposal_overhead, request_share)
+    hops = 4 if model.leader_aggregation else 3
+    return cpu + hops * one_way_delay
+
+
+def committee_throughput(protocol: str, n: int, batch_size: int = 100,
+                         one_way_delay: float = 0.0005,
+                         costs: OperationCosts = DEFAULT_COSTS,
+                         proposal_overhead: float = 0.025,
+                         request_share: float = 1.0,
+                         pipeline: bool = True) -> float:
+    """Steady-state transactions per second of one committee."""
+    if n < 1 or batch_size < 1:
+        raise ConfigurationError("n and batch_size must be positive")
+    model = protocol_model(protocol)
+    cpu = _per_block_cpu(model, n, batch_size, costs, proposal_overhead, request_share)
+    if pipeline and model.pipelined:
+        per_block = cpu
+    else:
+        per_block = committee_latency(protocol, n, batch_size, one_way_delay, costs,
+                                      proposal_overhead, request_share)
+    return batch_size / per_block
+
+
+def sharded_throughput(protocol: str, committee_size: int, num_shards: int,
+                       batch_size: int = 100, one_way_delay: float = 0.05,
+                       cross_shard_fraction: float = 1.0,
+                       coordination_rounds: int = 3,
+                       costs: OperationCosts = DEFAULT_COSTS,
+                       reference_committee: bool = False) -> float:
+    """Throughput of a ``num_shards``-shard deployment (Figure 14's model).
+
+    Each shard contributes its committee throughput; cross-shard transactions
+    consume capacity in every participating shard (prepare + commit are two
+    separate consensus decisions) and, when the reference committee is used,
+    also consume its capacity — which is why it eventually becomes the
+    bottleneck in Figure 13.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be at least 1")
+    per_shard = committee_throughput(protocol, committee_size, batch_size,
+                                     one_way_delay, costs)
+    # A cross-shard transaction occupies roughly `coordination_rounds` shard
+    # consensus slots (prepare, commit and the vote relay) instead of 1.
+    cost_factor = (1.0 - cross_shard_fraction) + cross_shard_fraction * (
+        2.0 if not reference_committee else float(coordination_rounds))
+    total = per_shard * num_shards / cost_factor
+    if reference_committee:
+        # The reference committee must order BeginTx + one decision per
+        # cross-shard transaction: its capacity caps the total.
+        reference_capacity = committee_throughput(protocol, committee_size, batch_size,
+                                                  one_way_delay, costs) / 2.0
+        if cross_shard_fraction > 0:
+            total = min(total, reference_capacity / cross_shard_fraction)
+    return total

@@ -1,0 +1,55 @@
+"""Shard formation (Section 5) and the cross-shard transaction probability (Appendix B).
+
+* :mod:`repro.sharding.sizing` — hypergeometric committee sizing (Equation 1)
+  and the epoch-transition failure probability (Equation 2).
+* :mod:`repro.sharding.beacon_protocol` — the distributed randomness
+  generation protocol built on the per-node RandomnessBeacon enclaves.
+* :mod:`repro.sharding.assignment` — the permutation-based node-to-committee
+  assignment seeded by the beacon output.
+* :mod:`repro.sharding.committee` — committee bookkeeping.
+* :mod:`repro.sharding.reconfiguration` — epoch transitions: swap-all versus
+  swap-``B`` batched reconfiguration, with state transfer.
+* :mod:`repro.sharding.cross_shard` — Equation 3: the probability that a
+  ``d``-argument transaction touches exactly ``x`` shards.
+"""
+
+from repro.sharding.sizing import (
+    faulty_committee_probability,
+    minimum_committee_size,
+    committee_size_table,
+    transition_failure_probability,
+)
+from repro.sharding.committee import Committee, CommitteeAssignment
+from repro.sharding.assignment import assign_committees, permutation_from_seed
+from repro.sharding.beacon_protocol import BeaconProtocol, BeaconProtocolResult
+from repro.sharding.reconfiguration import (
+    ReconfigurationPlan,
+    plan_reconfiguration,
+    swap_batch_size,
+)
+from repro.sharding.cross_shard import (
+    cross_shard_probability,
+    expected_shards_touched,
+    probability_cross_shard,
+)
+from repro.sharding.epochs import EpochSchedule
+
+__all__ = [
+    "faulty_committee_probability",
+    "minimum_committee_size",
+    "committee_size_table",
+    "transition_failure_probability",
+    "Committee",
+    "CommitteeAssignment",
+    "assign_committees",
+    "permutation_from_seed",
+    "BeaconProtocol",
+    "BeaconProtocolResult",
+    "ReconfigurationPlan",
+    "plan_reconfiguration",
+    "swap_batch_size",
+    "cross_shard_probability",
+    "expected_shards_touched",
+    "probability_cross_shard",
+    "EpochSchedule",
+]

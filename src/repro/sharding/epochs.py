@@ -1,0 +1,74 @@
+"""Epoch schedule bookkeeping.
+
+The sharded blockchain works in epochs (Section 5.1): every epoch starts with
+distributed randomness generation, followed by committee (re-)assignment and
+the batched migration of transitioning nodes.  :class:`EpochSchedule` tracks
+the sequence of assignments and the transition windows, and is used by the
+top-level system and the reconfiguration experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ShardingError
+from repro.sharding.committee import CommitteeAssignment
+
+
+@dataclass
+class EpochRecord:
+    """One epoch: its assignment and transition timing."""
+
+    epoch: int
+    assignment: CommitteeAssignment
+    started_at: float
+    transition_completed_at: Optional[float] = None
+
+
+@dataclass
+class EpochSchedule:
+    """The history of epochs of a sharded blockchain deployment."""
+
+    epoch_duration: float = 600.0
+    records: List[EpochRecord] = field(default_factory=list)
+
+    @property
+    def current_epoch(self) -> int:
+        if not self.records:
+            return -1
+        return self.records[-1].epoch
+
+    @property
+    def current_assignment(self) -> CommitteeAssignment:
+        if not self.records:
+            raise ShardingError("no epoch has started yet")
+        return self.records[-1].assignment
+
+    def start_epoch(self, assignment: CommitteeAssignment, now: float) -> EpochRecord:
+        """Record the start of a new epoch with the given assignment."""
+        if self.records and assignment.epoch <= self.records[-1].epoch:
+            raise ShardingError(
+                f"epoch {assignment.epoch} does not advance beyond {self.records[-1].epoch}"
+            )
+        record = EpochRecord(epoch=assignment.epoch, assignment=assignment, started_at=now)
+        self.records.append(record)
+        return record
+
+    def complete_transition(self, now: float) -> None:
+        """Mark the current epoch's transition period as finished."""
+        if not self.records:
+            raise ShardingError("no epoch has started yet")
+        self.records[-1].transition_completed_at = now
+
+    def next_epoch_due(self, now: float) -> bool:
+        """True if the epoch duration has elapsed since the current epoch started."""
+        if not self.records:
+            return True
+        return now >= self.records[-1].started_at + self.epoch_duration
+
+    def assignment_for(self, epoch: int) -> CommitteeAssignment:
+        for record in self.records:
+            if record.epoch == epoch:
+                return record.assignment
+        raise ShardingError(f"no record for epoch {epoch}")

@@ -1,0 +1,87 @@
+"""Event and event-queue primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` so that two events scheduled for
+    the same instant fire in scheduling order, which keeps simulations
+    deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when it reaches the queue head."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback with its stored arguments."""
+        return self.callback(*self.args)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap and are discarded lazily when popped,
+    which keeps cancellation O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at simulated ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time!r}")
+        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,143 @@
+"""Metric collection for simulation runs.
+
+The experiment harness measures throughput (committed transactions per
+second of simulated time), latency distributions, abort rates, view-change
+counts and stale-block rates.  :class:`Monitor` is a small container of named
+counters and time series shared by the components of one simulation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class TimeSeries:
+    """A named series of (time, value) samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.samples]
+
+    def times(self) -> List[float]:
+        return [time for time, _ in self.samples]
+
+    def mean(self) -> float:
+        values = self.values()
+        return statistics.fmean(values) if values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        values = sorted(self.values())
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(round((pct / 100.0) * (len(values) - 1))))
+        return values[index]
+
+    def bucketed_rate(self, bucket_seconds: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Aggregate sample values into rate-per-second buckets of the given width."""
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if not self.samples and until is None:
+            return []
+        horizon = until if until is not None else max(t for t, _ in self.samples)
+        buckets: Dict[int, float] = {}
+        for time, value in self.samples:
+            buckets[int(time // bucket_seconds)] = buckets.get(int(time // bucket_seconds), 0.0) + value
+        result = []
+        for index in range(int(horizon // bucket_seconds) + 1):
+            total = buckets.get(index, 0.0)
+            result.append((index * bucket_seconds, total / bucket_seconds))
+        return result
+
+
+class ThroughputTracker:
+    """Tracks committed transactions and computes throughput over a window."""
+
+    def __init__(self) -> None:
+        self.commits: List[Tuple[float, int]] = []
+        self.total_committed = 0
+
+    def record_commit(self, time: float, tx_count: int) -> None:
+        """Record that ``tx_count`` transactions committed at simulated ``time``."""
+        self.commits.append((time, tx_count))
+        self.total_committed += tx_count
+
+    def throughput(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Committed transactions per second over ``[start, end]``."""
+        if not self.commits:
+            return 0.0
+        if end is None:
+            end = max(time for time, _ in self.commits)
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        total = sum(count for time, count in self.commits if start <= time <= end)
+        return total / duration
+
+    def over_time(self, bucket_seconds: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Throughput time series in buckets of ``bucket_seconds``."""
+        series = TimeSeries("commits")
+        series.samples = [(time, float(count)) for time, count in self.commits]
+        return series.bucketed_rate(bucket_seconds, until=until)
+
+
+class Monitor:
+    """A collection of named counters, time series and throughput trackers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._throughput: Dict[str, ThroughputTracker] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def throughput(self, name: str = "default") -> ThroughputTracker:
+        if name not in self._throughput:
+            self._throughput[name] = ThroughputTracker()
+        return self._throughput[name]
+
+    def counter_value(self, name: str) -> float:
+        return self._counters[name].value if name in self._counters else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of counter values and series means (for reports)."""
+        result: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            result[f"counter.{name}"] = counter.value
+        for name, series in self._series.items():
+            result[f"series.{name}.mean"] = series.mean()
+            result[f"series.{name}.count"] = float(len(series.samples))
+        for name, tracker in self._throughput.items():
+            result[f"throughput.{name}.total"] = float(tracker.total_committed)
+        return result
+
+
+def mean_or_zero(values: Sequence[float]) -> float:
+    """Arithmetic mean, or 0.0 for an empty sequence."""
+    return statistics.fmean(values) if values else 0.0

@@ -1,0 +1,207 @@
+"""Simulated message-passing network.
+
+Nodes register with a :class:`Network`; :meth:`Network.send` computes a
+delivery delay from the configured :class:`~repro.sim.latency.LatencyModel`
+and schedules ``node.deliver(message)`` on the simulator.  The network keeps
+aggregate statistics (messages, bytes, drops) and supports fault injection:
+random message loss, per-link blocking, and network partitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.latency import LatencyModel, LanLatencyModel
+from repro.sim.simulator import Simulator
+
+#: Channel label for consensus-protocol messages.
+CONSENSUS_CHANNEL = "consensus"
+#: Channel label for client request messages.
+REQUEST_CHANNEL = "request"
+
+
+@dataclass
+class Message:
+    """A network message.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Node identifiers.  ``recipient`` is filled in by the network on send.
+    kind:
+        Message type tag, e.g. ``"pre-prepare"`` or ``"PrepareTx"``.
+    payload:
+        Arbitrary content; protocols put dataclasses or dicts here.
+    size_bytes:
+        Wire size used by the latency/bandwidth model.
+    channel:
+        Logical queue at the receiver (consensus vs request); used by the
+        AHL+ queue-separation optimisation.
+    """
+
+    sender: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = 512
+    channel: str = CONSENSUS_CHANNEL
+    recipient: int = -1
+    sent_at: float = field(default=0.0, compare=False)
+    msg_id: int = field(default=-1, compare=False)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate network statistics for a simulation run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_kind_sent: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.per_kind_sent[message.kind] = self.per_kind_sent.get(message.kind, 0) + 1
+
+
+class Network:
+    """Point-to-point simulated network with latency, loss and partitions.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    latency_model:
+        Converts (source region, destination region, size) into a delay.
+    drop_rate:
+        Probability that any given message is silently lost.
+    """
+
+    def __init__(self, sim: Simulator, latency_model: Optional[LatencyModel] = None,
+                 drop_rate: float = 0.0) -> None:
+        self.sim = sim
+        self.latency_model = latency_model or LanLatencyModel()
+        self.drop_rate = drop_rate
+        self.stats = NetworkStats()
+        self._nodes: Dict[int, Any] = {}
+        self._regions: Dict[int, str] = {}
+        self._blocked_links: Set[Tuple[int, int]] = set()
+        self._crashed: Set[int] = set()
+        self._partition: Optional[Dict[int, int]] = None
+        self._msg_counter = itertools.count()
+        self._rng = sim.fork_rng("network")
+
+    # ---------------------------------------------------------- registration
+    def register(self, node: Any, region: str = "local") -> None:
+        """Register a node object exposing ``node_id`` and ``deliver(message)``."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise NetworkError(f"node {node_id} is already registered")
+        self._nodes[node_id] = node
+        self._regions[node_id] = region
+
+    def region_of(self, node_id: int) -> str:
+        return self._regions.get(node_id, "local")
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def node(self, node_id: int) -> Any:
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise NetworkError(f"unknown node {node_id}") from exc
+
+    # -------------------------------------------------------- fault injection
+    def crash(self, node_id: int) -> None:
+        """Crash a node: it no longer receives any message."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        """Recover a crashed node."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: int) -> bool:
+        return node_id in self._crashed
+
+    def block_link(self, src: int, dst: int) -> None:
+        """Drop every message from ``src`` to ``dst``."""
+        self._blocked_links.add((src, dst))
+
+    def unblock_link(self, src: int, dst: int) -> None:
+        self._blocked_links.discard((src, dst))
+
+    def set_partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network: only nodes in the same group can communicate."""
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                mapping[node_id] = index
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _link_ok(self, src: int, dst: int) -> bool:
+        if dst in self._crashed or src in self._crashed:
+            return False
+        if (src, dst) in self._blocked_links:
+            return False
+        if self._partition is not None:
+            if self._partition.get(src) != self._partition.get(dst):
+                return False
+        return True
+
+    # --------------------------------------------------------------- sending
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` with modelled delay."""
+        if dst not in self._nodes:
+            raise NetworkError(f"cannot send to unknown node {dst}")
+        message.sender = src
+        message.recipient = dst
+        message.sent_at = self.sim.now
+        message.msg_id = next(self._msg_counter)
+        self.stats.record_send(message)
+        if not self._link_ok(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        delay = self.latency_model.delay(
+            self.region_of(src), self.region_of(dst), message.size_bytes, self._rng
+        )
+        self.sim.schedule(delay, self._deliver, message)
+
+    def broadcast(self, src: int, dst_ids: Iterable[int], message: Message) -> None:
+        """Send a copy of ``message`` to every node in ``dst_ids`` (excluding none)."""
+        for dst in dst_ids:
+            copy = Message(
+                sender=src,
+                kind=message.kind,
+                payload=message.payload,
+                size_bytes=message.size_bytes,
+                channel=message.channel,
+            )
+            self.send(src, dst, copy)
+
+    def _deliver(self, message: Message) -> None:
+        if message.recipient in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        node = self._nodes.get(message.recipient)
+        if node is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        node.deliver(message)
+
+    # ----------------------------------------------------------------- misc
+    def delay_bound(self, size_bytes: int = 1024) -> float:
+        """Upper bound on one-way delay, used to derive the synchrony bound Delta."""
+        return self.latency_model.delay_bound(size_bytes)

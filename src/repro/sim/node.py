@@ -1,0 +1,150 @@
+"""Base class for simulated nodes (processes).
+
+A :class:`SimProcess` models the two resources that dominate the paper's
+throughput results:
+
+* a **serial CPU**: every message handled and every block executed occupies
+  the CPU for a cost derived from the Table-2 cost model, so a node that must
+  verify ``O(N)`` signatures per block gets slower as the committee grows;
+* **bounded inbound queues**: Hyperledger v0.6 uses a single queue for both
+  request and consensus messages, so a flood of requests causes consensus
+  messages to be dropped.  The AHL+ optimisation splits the queue in two.
+  ``queue_capacity`` and ``separate_queues`` model exactly this behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class NodeStats:
+    """Per-node statistics."""
+
+    messages_received: int = 0
+    messages_processed: int = 0
+    messages_dropped_queue_full: int = 0
+    cpu_busy_seconds: float = 0.0
+    dropped_by_channel: Dict[str, int] = field(default_factory=dict)
+
+
+class SimProcess:
+    """A simulated node with a serial CPU and bounded inbound queues.
+
+    Subclasses implement :meth:`handle_message` and use :meth:`cpu_execute`
+    to account for processing costs.
+
+    Parameters
+    ----------
+    node_id:
+        Unique integer identifier.
+    sim / network:
+        Simulation substrate.  The node registers itself with the network.
+    region:
+        Region label used by WAN latency models.
+    queue_capacity:
+        Maximum number of messages waiting for the CPU; ``None`` means
+        unbounded.  When the queue is full new messages are dropped.
+    separate_queues:
+        When True (the AHL+ optimisation), request and consensus messages
+        are queued separately so requests cannot crowd out consensus traffic.
+    """
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 region: str = "local", queue_capacity: Optional[int] = None,
+                 separate_queues: bool = False) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.region = region
+        self.queue_capacity = queue_capacity
+        self.separate_queues = separate_queues
+        self.stats = NodeStats()
+        self.crashed = False
+        self._cpu_free_at = 0.0
+        self._queue_depth: Dict[str, int] = {}
+        network.register(self, region=region)
+
+    # ----------------------------------------------------------------- queues
+    def _channel_key(self, message: Message) -> str:
+        if not self.separate_queues:
+            return "shared"
+        return message.channel if message.channel == REQUEST_CHANNEL else CONSENSUS_CHANNEL
+
+    def _queue_full(self, key: str) -> bool:
+        if self.queue_capacity is None:
+            return False
+        return self._queue_depth.get(key, 0) >= self.queue_capacity
+
+    # --------------------------------------------------------------- delivery
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this node."""
+        if self.crashed:
+            return
+        self.stats.messages_received += 1
+        key = self._channel_key(message)
+        if self._queue_full(key):
+            self.stats.messages_dropped_queue_full += 1
+            self.stats.dropped_by_channel[message.channel] = (
+                self.stats.dropped_by_channel.get(message.channel, 0) + 1
+            )
+            return
+        self._queue_depth[key] = self._queue_depth.get(key, 0) + 1
+        cost = self.message_cost(message)
+        self.cpu_execute(cost, self._process_message, message, key)
+
+    def _process_message(self, message: Message, key: str) -> None:
+        self._queue_depth[key] = self._queue_depth.get(key, 1) - 1
+        self.stats.messages_processed += 1
+        if not self.crashed:
+            self.handle_message(message)
+
+    # --------------------------------------------------------------- CPU model
+    def cpu_execute(self, cost: float, fn: Callable[..., Any], *args: Any) -> float:
+        """Schedule ``fn(*args)`` after the CPU has spent ``cost`` seconds on it.
+
+        Work is serialised: if the CPU is already busy, the new work starts
+        when the current work finishes.  Returns the completion time.
+        """
+        start = max(self.sim.now, self._cpu_free_at)
+        finish = start + max(cost, 0.0)
+        self._cpu_free_at = finish
+        self.stats.cpu_busy_seconds += max(cost, 0.0)
+        self.sim.schedule_at(finish, fn, *args)
+        return finish
+
+    def cpu_idle_at(self) -> float:
+        """Time at which the CPU becomes free."""
+        return max(self._cpu_free_at, self.sim.now)
+
+    # ------------------------------------------------------------- overrides
+    def message_cost(self, message: Message) -> float:
+        """CPU cost of handling ``message``; subclasses refine this."""
+        return 0.0
+
+    def handle_message(self, message: Message) -> None:
+        """Protocol logic; subclasses must override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ misc
+    def crash(self) -> None:
+        """Crash this node (stops receiving and processing)."""
+        self.crashed = True
+        self.network.crash(self.node_id)
+
+    def recover(self) -> None:
+        """Recover from a crash."""
+        self.crashed = False
+        self.network.recover(self.node_id)
+
+    def send(self, dst: int, message: Message) -> None:
+        """Convenience wrapper around :meth:`Network.send`."""
+        self.network.send(self.node_id, dst, message)
+
+    def broadcast(self, dst_ids, message: Message) -> None:
+        """Convenience wrapper around :meth:`Network.broadcast`."""
+        self.network.broadcast(self.node_id, dst_ids, message)

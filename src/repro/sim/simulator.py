@@ -1,0 +1,127 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock and an event queue.  All protocol
+components (network, nodes, clients) schedule work on the simulator; calling
+:meth:`Simulator.run` advances virtual time until the queue drains, a time
+bound is reached, or an event budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  Every source
+        of randomness in a simulation (network jitter, workload skew, beacon
+        draws) derives from this generator or from generators forked from it,
+        so a run is fully reproducible from its seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before current time {self._now!r}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def fork_rng(self, label: str = "") -> random.Random:
+        """Return a new RNG deterministically derived from the simulator seed."""
+        return random.Random(f"{self.seed}:{label}")
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this bound.  The clock is
+            advanced to ``until`` when the bound is hit with events pending.
+        max_events:
+            Stop after executing this many events (a safety valve for
+            benchmarks).
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = max(self._now, until)
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains, with an event budget as a guard."""
+        executed = self.run(max_events=max_events)
+        if self.pending_events:
+            raise SimulationError(
+                f"simulation did not become idle within {max_events} events"
+            )
+        return executed

@@ -1,0 +1,184 @@
+"""Attested append-only memory (A2M).
+
+AHL (Section 4.1) follows Chun et al.: each node keeps, inside its enclave,
+one trusted log per consensus message type (pre-prepare, prepare, commit).
+Before sending a message the node must append the message digest to the
+corresponding log at the message's sequence slot; the enclave signs an
+attestation of the append, and peers only accept messages that carry such an
+attestation.  Because the enclave refuses to bind two different digests to
+the same slot, a Byzantine node cannot equivocate, which is what allows the
+quorum size to drop from ``2f + 1`` out of ``3f + 1`` to ``f + 1`` out of
+``2f + 1``.
+
+The log also models sealing and the Appendix-A rollback-recovery procedure:
+after a restart, the log refuses appends until it has been presented with a
+stable checkpoint at or beyond its conservative estimate ``H_M`` of the
+highest sequence number it may have attested before the crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import digest_of
+from repro.crypto.signatures import Signature, verify_signature
+from repro.errors import EnclaveError
+from repro.tee.enclave import Enclave, SealedBlob
+
+
+@dataclass(frozen=True)
+class LogAttestation:
+    """Proof that a digest was appended to a named log at a given position."""
+
+    enclave_id: str
+    log_name: str
+    position: int
+    digest: str
+    signature: Signature
+
+    def verify(self) -> bool:
+        """Check the enclave signature over (log, position, digest)."""
+        body = {"log": self.log_name, "position": self.position, "digest": self.digest}
+        return verify_signature(self.signature, body)
+
+
+@dataclass
+class _LogState:
+    entries: Dict[int, str] = field(default_factory=dict)
+    highest: int = -1
+
+
+class AttestedAppendOnlyLog(Enclave):
+    """The A2M enclave used by AHL/AHL+/AHLR.
+
+    One instance per node; logs are addressed by name (message type).
+    """
+
+    CODE_IDENTITY = "repro.tee.AttestedAppendOnlyLog/v1"
+
+    def __init__(self, enclave_id: str, **kwargs) -> None:
+        super().__init__(enclave_id, **kwargs)
+        self._logs: Dict[str, _LogState] = {}
+        self._recovering = False
+        self._recovery_floor: Optional[int] = None
+        self.appends = 0
+        self.rejected_appends = 0
+
+    # ---------------------------------------------------------------- appends
+    def append(self, log_name: str, position: int, message: object) -> LogAttestation:
+        """Append ``message``'s digest at ``position`` of ``log_name`` and attest it.
+
+        Raises :class:`EnclaveError` if a *different* digest is already bound
+        to that position (the anti-equivocation guarantee) or if the enclave
+        is recovering from a restart and the position is below the recovery
+        floor ``H_M``.
+        """
+        if self._recovering:
+            raise EnclaveError(
+                "attested log is recovering from a restart and refuses appends"
+            )
+        digest = digest_of(message)
+        log = self._logs.setdefault(log_name, _LogState())
+        existing = log.entries.get(position)
+        if existing is not None and existing != digest:
+            self.rejected_appends += 1
+            raise EnclaveError(
+                f"equivocation attempt: position {position} of log {log_name!r} "
+                "is already bound to a different digest"
+            )
+        log.entries[position] = digest
+        log.highest = max(log.highest, position)
+        self.appends += 1
+        body = {"log": log_name, "position": position, "digest": digest}
+        return LogAttestation(
+            enclave_id=self.enclave_id,
+            log_name=log_name,
+            position=position,
+            digest=digest,
+            signature=self.sign(body),
+        )
+
+    def lookup(self, log_name: str, position: int) -> Optional[str]:
+        """Digest bound at a position, or None."""
+        log = self._logs.get(log_name)
+        if log is None:
+            return None
+        return log.entries.get(position)
+
+    def highest_position(self, log_name: str) -> int:
+        """Highest attested position in a log (-1 if empty)."""
+        log = self._logs.get(log_name)
+        return log.highest if log is not None else -1
+
+    # ---------------------------------------------------------------- sealing
+    def seal_logs(self) -> SealedBlob:
+        """Periodically persist the log heads (paper: 'AHL periodically seals the logs')."""
+        snapshot = {
+            name: {"entries": dict(state.entries), "highest": state.highest}
+            for name, state in self._logs.items()
+        }
+        return self.seal(snapshot)
+
+    def restore_from_seal(self, blob: SealedBlob) -> None:
+        """Restore log heads from sealed storage (possibly stale — rollback attack)."""
+        snapshot = self.unseal(blob)
+        self._logs = {
+            name: _LogState(entries=dict(data["entries"]), highest=data["highest"])
+            for name, data in snapshot.items()
+        }
+
+    # ------------------------------------------------- restart / rollback (§A)
+    def restart(self) -> None:
+        """Restart the enclave: volatile logs are lost and appends are frozen."""
+        super().restart()
+        self._logs = {}
+        self._recovering = True
+        self._recovery_floor = None
+
+    @property
+    def recovering(self) -> bool:
+        return self._recovering
+
+    @property
+    def recovery_floor(self) -> Optional[int]:
+        """The estimate H_M below which messages must not be re-attested."""
+        return self._recovery_floor
+
+    def begin_recovery(self, checkpoint_responses: List[Tuple[str, int]],
+                       quorum_f: int, watermark_window: int) -> int:
+        """Run the Appendix-A estimation procedure.
+
+        ``checkpoint_responses`` is a list of ``(peer id, last stable
+        checkpoint sequence number)`` pairs gathered from peers.  The enclave
+        selects ``ckp_M``: the largest reported value such that at least ``f``
+        *other* replicas report values less than or equal to it, then sets
+        ``H_M = ckp_M + L`` where ``L`` is the watermark window.  Returns
+        ``H_M``.
+        """
+        if not checkpoint_responses:
+            raise EnclaveError("recovery requires at least one checkpoint response")
+        values = sorted(ckp for _, ckp in checkpoint_responses)
+        ckp_m = values[0]
+        for candidate_peer, candidate in checkpoint_responses:
+            others_leq = sum(
+                1 for peer, value in checkpoint_responses
+                if peer != candidate_peer and value <= candidate
+            )
+            if others_leq >= quorum_f and candidate > ckp_m:
+                ckp_m = candidate
+        self._recovery_floor = ckp_m + watermark_window
+        return self._recovery_floor
+
+    def complete_recovery(self, stable_checkpoint_seq: int) -> None:
+        """Finish recovery once a stable checkpoint at or beyond ``H_M`` is presented."""
+        if not self._recovering:
+            return
+        if self._recovery_floor is None:
+            raise EnclaveError("begin_recovery must run before complete_recovery")
+        if stable_checkpoint_seq < self._recovery_floor:
+            raise EnclaveError(
+                f"checkpoint {stable_checkpoint_seq} is below the recovery floor "
+                f"{self._recovery_floor}"
+            )
+        self._recovering = False

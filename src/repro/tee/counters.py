@@ -1,0 +1,71 @@
+"""Monotonic counters and sealed state storage.
+
+These are the building blocks for the Appendix-A rollback defences: a
+monotonic counter that can only move forward (the CPU-backed counter used at
+system bootstrap) and a sealed state store that models an *untrusted*
+persistence layer — the attacker may return any previously sealed version,
+which is exactly the rollback attack surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import EnclaveError
+from repro.tee.enclave import SealedBlob
+
+
+@dataclass
+class MonotonicCounter:
+    """A hardware-backed counter that can only increase."""
+
+    name: str = "counter"
+    value: int = 0
+
+    def increment(self) -> int:
+        """Advance the counter and return the new value."""
+        self.value += 1
+        return self.value
+
+    def read(self) -> int:
+        return self.value
+
+    def assert_at_least(self, expected: int) -> None:
+        """Raise if the counter is behind ``expected`` (stale-state detection)."""
+        if self.value < expected:
+            raise EnclaveError(
+                f"monotonic counter {self.name!r} is at {self.value}, expected >= {expected}"
+            )
+
+
+@dataclass
+class SealedStateStore:
+    """Untrusted persistent storage for sealed blobs.
+
+    ``store`` keeps every version ever written; an honest OS returns the
+    latest (:meth:`load_latest`), a malicious OS may return any stale version
+    (:meth:`load_version`), which is how the rollback-attack tests drive the
+    recovery procedure.
+    """
+
+    blobs: Dict[str, List[SealedBlob]] = field(default_factory=dict)
+
+    def save(self, key: str, blob: SealedBlob) -> None:
+        self.blobs.setdefault(key, []).append(blob)
+
+    def load_latest(self, key: str) -> Optional[SealedBlob]:
+        versions = self.blobs.get(key)
+        return versions[-1] if versions else None
+
+    def load_version(self, key: str, index: int) -> Optional[SealedBlob]:
+        """Return an arbitrary (possibly stale) version — the attacker's power."""
+        versions = self.blobs.get(key)
+        if not versions:
+            return None
+        if not -len(versions) <= index < len(versions):
+            return None
+        return versions[index]
+
+    def versions(self, key: str) -> int:
+        return len(self.blobs.get(key, []))

@@ -1,0 +1,110 @@
+"""The RandomnessBeacon enclave (Section 5.1).
+
+At every epoch each node invokes its beacon enclave with the epoch number.
+The enclave draws two independent random values ``q`` (``l`` bits) and
+``rnd`` using ``sgx_read_rand`` and returns a signed certificate
+``<epoch, rnd>`` **only if** ``q == 0``; otherwise it returns nothing.  The
+enclave can be invoked at most once per epoch, so a malicious host cannot
+grind for a favourable ``rnd`` by re-invoking, and cannot selectively discard
+outputs it does not like (it never sees an alternative).
+
+The expected fraction of nodes that obtain a certificate is ``2^-l``, giving
+a communication cost of ``O(2^-l * N^2)`` and a repeat probability
+``(1 - 2^-l)^N`` (paper Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.signatures import Signature, verify_signature
+from repro.errors import EnclaveError
+from repro.tee.enclave import Enclave
+
+
+@dataclass(frozen=True)
+class BeaconCertificate:
+    """A signed beacon output ``<epoch, rnd>`` produced when ``q == 0``."""
+
+    enclave_id: str
+    epoch: int
+    rnd: int
+    signature: Signature
+
+    def verify(self) -> bool:
+        """Check the enclave signature over (epoch, rnd)."""
+        return verify_signature(self.signature, {"epoch": self.epoch, "rnd": self.rnd})
+
+
+class RandomnessBeaconEnclave(Enclave):
+    """Per-node trusted randomness beacon.
+
+    Parameters
+    ----------
+    q_bits:
+        Bit length ``l`` of the filter value ``q``; a certificate is produced
+        with probability ``2^-l`` per invocation.
+    startup_guard:
+        When positive, the enclave's invocation history survives restarts
+        (the Appendix-A defence, realised with a CPU monotonic counter at
+        bootstrap), so the host cannot re-grind an epoch by restarting the
+        enclave.  When zero, a restart clears the history — the vulnerable
+        configuration used by the rollback-attack tests.
+    """
+
+    CODE_IDENTITY = "repro.tee.RandomnessBeacon/v1"
+    RND_BITS = 128
+
+    def __init__(self, enclave_id: str, q_bits: int = 0, startup_guard: float = 0.0,
+                 **kwargs) -> None:
+        super().__init__(enclave_id, **kwargs)
+        if q_bits < 0:
+            raise EnclaveError("q_bits must be non-negative")
+        self.q_bits = q_bits
+        self.startup_guard = startup_guard
+        self._instantiated_at = self.trusted_time()
+        self._invoked_epochs: Dict[int, bool] = {}
+        self.invocations = 0
+
+    def invoke(self, epoch: int) -> Optional[BeaconCertificate]:
+        """Invoke the beacon for ``epoch``.
+
+        Returns a certificate if the internal draw ``q`` equals zero, else
+        ``None``.  A second invocation for the same epoch raises
+        :class:`EnclaveError` (this is the anti-grinding guarantee).
+        """
+        if epoch < 0:
+            raise EnclaveError("epoch must be non-negative")
+        if epoch in self._invoked_epochs:
+            raise EnclaveError(f"beacon already invoked for epoch {epoch}")
+        self._invoked_epochs[epoch] = True
+        self.invocations += 1
+        q = self.read_rand(self.q_bits) if self.q_bits > 0 else 0
+        rnd = self.read_rand(self.RND_BITS)
+        if q != 0:
+            return None
+        return BeaconCertificate(
+            enclave_id=self.enclave_id,
+            epoch=epoch,
+            rnd=rnd,
+            signature=self.sign({"epoch": epoch, "rnd": rnd}),
+        )
+
+    def was_invoked(self, epoch: int) -> bool:
+        """True if the beacon has already been invoked for ``epoch``."""
+        return epoch in self._invoked_epochs
+
+    def restart(self) -> None:
+        """Model a restart: without protection, invocation history would be lost.
+
+        The Appendix-A defence binds ``q``/``rnd`` issuance to the startup
+        guard window; we keep the invoked-epoch map across restarts when the
+        guard is configured (modelling the monotonic-counter based set-up)
+        and clear it otherwise (modelling the vulnerable configuration used
+        by the rollback-attack tests).
+        """
+        super().restart()
+        self._instantiated_at = self.trusted_time()
+        if self.startup_guard <= 0:
+            self._invoked_epochs = {}

@@ -1,0 +1,51 @@
+"""Distributed (cross-shard) transactions (Section 6).
+
+* :mod:`repro.txn.locks` — a 2PL lock manager over blockchain state (locks
+  are ordinary state tuples under ``"L_"`` keys, Section 6.3).
+* :mod:`repro.txn.reference_committee` — the 2PC state machine run by the BFT
+  reference committee (Figure 6), as a deterministic chaincode-style object.
+* :mod:`repro.txn.coordinator` — the lifecycle of one distributed transaction
+  under our protocol (Figure 5), plus the trusted-coordinator variant used by
+  the "without reference committee" experiments.
+* :mod:`repro.txn.omniledger` — OmniLedger's client-driven lock/unlock
+  protocol, including the malicious-client blocking behaviour (Figure 3b).
+* :mod:`repro.txn.rapidchain` — RapidChain's UTXO transaction splitting,
+  including the atomicity/isolation violations on the account model
+  (Figures 3a and 4).
+* :mod:`repro.txn.utxo` — the UTXO data model those baselines operate on.
+"""
+
+from repro.txn.locks import LockManager, LockConflict
+from repro.txn.reference_committee import (
+    CoordinatorState,
+    ReferenceCommitteeStateMachine,
+    ReferenceCommitteeChaincode,
+)
+from repro.txn.coordinator import (
+    DistributedTxOutcome,
+    DistributedTxPhase,
+    DistributedTxRecord,
+    TwoPhaseCommitCoordinator,
+)
+from repro.txn.utxo import UTXO, UTXOSet, UTXOTransaction
+from repro.txn.omniledger import OmniLedgerClientProtocol, OmniLedgerShard
+from repro.txn.rapidchain import RapidChainProtocol, RapidChainShard
+
+__all__ = [
+    "LockManager",
+    "LockConflict",
+    "CoordinatorState",
+    "ReferenceCommitteeStateMachine",
+    "ReferenceCommitteeChaincode",
+    "DistributedTxOutcome",
+    "DistributedTxPhase",
+    "DistributedTxRecord",
+    "TwoPhaseCommitCoordinator",
+    "UTXO",
+    "UTXOSet",
+    "UTXOTransaction",
+    "OmniLedgerClientProtocol",
+    "OmniLedgerShard",
+    "RapidChainProtocol",
+    "RapidChainShard",
+]

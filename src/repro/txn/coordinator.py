@@ -1,0 +1,222 @@
+"""Lifecycle of a distributed transaction under our coordination protocol (Figure 5).
+
+A distributed transaction proceeds through three steps:
+
+1a) **Prepare** — after the reference committee executes BeginTx, PrepareTx
+    requests go to every involved transaction committee, which tries to take
+    the transaction's locks and votes PrepareOK / PrepareNotOK;
+1b) **Pre-Commit** — the reference committee counts quorums of votes
+    (Figure 6's state machine);
+2)  **Commit** — once the reference committee reaches Committed (or Aborted),
+    CommitTx (or AbortTx) requests are executed at the involved committees.
+
+:class:`DistributedTxRecord` tracks one transaction through those steps and
+:class:`TwoPhaseCommitCoordinator` manages a set of records.  The class is
+pure bookkeeping — the actual message flow is driven by
+:class:`repro.core.system.ShardedBlockchain` (full simulation) or directly by
+unit tests.  It also supports the *trusted coordinator* mode (no reference
+committee), which is what the paper's "w/o R" configurations measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TransactionAbortedError
+from repro.ledger.transaction import Transaction
+from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeStateMachine
+
+
+class DistributedTxPhase(str, Enum):
+    """Where a distributed transaction currently is in the Figure-5 flow."""
+
+    INIT = "init"
+    BEGINNING = "beginning"          # BeginTx submitted to R, not yet executed
+    PREPARING = "preparing"          # PrepareTx outstanding at tx-committees
+    VOTING = "voting"                # votes being relayed to R
+    COMMITTING = "committing"        # CommitTx / AbortTx outstanding
+    DONE = "done"
+
+
+class DistributedTxOutcome(str, Enum):
+    """Final outcome of a distributed transaction."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    PENDING = "pending"
+
+
+@dataclass
+class DistributedTxRecord:
+    """Book-keeping for one distributed transaction."""
+
+    tx_id: str
+    transaction: Transaction
+    shards: List[int]
+    phase: DistributedTxPhase = DistributedTxPhase.INIT
+    outcome: DistributedTxOutcome = DistributedTxOutcome.PENDING
+    prepare_votes: Dict[int, bool] = field(default_factory=dict)
+    commit_acks: Dict[int, bool] = field(default_factory=dict)
+    started_at: float = 0.0
+    decided_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    abort_reason: Optional[str] = None
+
+    @property
+    def is_cross_shard(self) -> bool:
+        return len(self.shards) > 1
+
+    @property
+    def all_votes_in(self) -> bool:
+        return set(self.prepare_votes) >= set(self.shards)
+
+    @property
+    def all_acks_in(self) -> bool:
+        return set(self.commit_acks) >= set(self.shards)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class CoordinatorStats:
+    """Aggregate statistics over all distributed transactions seen by a coordinator."""
+
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    cross_shard: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def abort_rate(self) -> float:
+        decided = self.committed + self.aborted
+        return self.aborted / decided if decided else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+class TwoPhaseCommitCoordinator:
+    """Tracks distributed transactions through the Figure-5 protocol.
+
+    Parameters
+    ----------
+    use_reference_committee:
+        When True, decisions are taken by the replicated
+        :class:`ReferenceCommitteeStateMachine`; when False the coordinator
+        itself decides (the classic, trusted 2PC coordinator), which is the
+        "w/o R" configuration of Figure 13.
+    """
+
+    def __init__(self, use_reference_committee: bool = True) -> None:
+        self.use_reference_committee = use_reference_committee
+        self.reference = ReferenceCommitteeStateMachine()
+        self.records: Dict[str, DistributedTxRecord] = {}
+        self.stats = CoordinatorStats()
+        self._counter = itertools.count()
+
+    # ----------------------------------------------------------------- begin
+    def begin(self, transaction: Transaction, shards: Sequence[int],
+              now: float = 0.0) -> DistributedTxRecord:
+        """Step 0: register the transaction and (logically) submit BeginTx to R."""
+        shards = sorted(set(shards))
+        if not shards:
+            raise TransactionAbortedError("a transaction must involve at least one shard")
+        record = DistributedTxRecord(
+            tx_id=transaction.tx_id, transaction=transaction,
+            shards=list(shards), started_at=now,
+            phase=DistributedTxPhase.BEGINNING,
+        )
+        self.records[transaction.tx_id] = record
+        self.stats.started += 1
+        if record.is_cross_shard:
+            self.stats.cross_shard += 1
+        if self.use_reference_committee:
+            self.reference.begin(transaction.tx_id, len(shards))
+        return record
+
+    def mark_begin_executed(self, tx_id: str) -> DistributedTxRecord:
+        """R has executed BeginTx: PrepareTx requests may now be sent (step 1a)."""
+        record = self._record(tx_id)
+        record.phase = DistributedTxPhase.PREPARING
+        return record
+
+    # ----------------------------------------------------------------- voting
+    def record_prepare_vote(self, tx_id: str, shard_id: int, ok: bool,
+                            now: float = 0.0, reason: Optional[str] = None) -> DistributedTxRecord:
+        """A tx-committee reached consensus on its PrepareTx and voted (step 1b)."""
+        record = self._record(tx_id)
+        if shard_id not in record.shards:
+            raise TransactionAbortedError(
+                f"shard {shard_id} is not a participant of {tx_id!r}"
+            )
+        record.prepare_votes[shard_id] = ok
+        record.phase = DistributedTxPhase.VOTING
+        if not ok and reason and record.abort_reason is None:
+            record.abort_reason = reason
+        if self.use_reference_committee:
+            if ok:
+                state = self.reference.prepare_ok(tx_id, shard_id)
+            else:
+                state = self.reference.prepare_not_ok(tx_id, shard_id)
+            decided = state in (CoordinatorState.COMMITTED, CoordinatorState.ABORTED)
+            committed = state == CoordinatorState.COMMITTED
+        else:
+            if not ok:
+                decided, committed = True, False
+            elif record.all_votes_in and all(record.prepare_votes.values()):
+                decided, committed = True, True
+            else:
+                decided, committed = False, False
+        if decided and record.outcome is DistributedTxOutcome.PENDING:
+            record.outcome = (DistributedTxOutcome.COMMITTED if committed
+                              else DistributedTxOutcome.ABORTED)
+            record.decided_at = now
+            record.phase = DistributedTxPhase.COMMITTING
+        return record
+
+    # ----------------------------------------------------------------- commit
+    def record_commit_ack(self, tx_id: str, shard_id: int, now: float = 0.0) -> DistributedTxRecord:
+        """A tx-committee executed its CommitTx/AbortTx (step 2)."""
+        record = self._record(tx_id)
+        record.commit_acks[shard_id] = True
+        if record.all_acks_in and record.phase is not DistributedTxPhase.DONE:
+            self._finish(record, now)
+        return record
+
+    def _finish(self, record: DistributedTxRecord, now: float) -> None:
+        record.phase = DistributedTxPhase.DONE
+        record.completed_at = now
+        if record.outcome is DistributedTxOutcome.COMMITTED:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        if record.latency is not None:
+            self.stats.latencies.append(record.latency)
+
+    # ------------------------------------------------------------------ misc
+    def _record(self, tx_id: str) -> DistributedTxRecord:
+        record = self.records.get(tx_id)
+        if record is None:
+            raise TransactionAbortedError(f"unknown distributed transaction {tx_id!r}")
+        return record
+
+    def outcome_of(self, tx_id: str) -> DistributedTxOutcome:
+        return self._record(tx_id).outcome
+
+    def pending(self) -> List[DistributedTxRecord]:
+        return [record for record in self.records.values()
+                if record.phase is not DistributedTxPhase.DONE]
+
+    def decided_but_unfinished(self) -> List[DistributedTxRecord]:
+        return [record for record in self.records.values()
+                if record.outcome is not DistributedTxOutcome.PENDING
+                and record.phase is not DistributedTxPhase.DONE]

@@ -1,0 +1,78 @@
+"""Two-phase-locking over blockchain state.
+
+The paper stores locks as ordinary blockchain state: locking account ``acc``
+writes the tuple ``<"L_" + acc, holder>`` and releasing it deletes the tuple
+(Section 6.3).  :class:`LockManager` wraps a :class:`~repro.ledger.state.StateStore`
+with that convention so both the chaincodes and the protocol baselines share
+one locking implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.ledger.state import StateStore
+
+#: Prefix under which lock tuples are stored in the blockchain state.
+LOCK_PREFIX = "L_"
+
+
+class LockConflict(ReproError):
+    """Raised when a lock is already held by a different transaction."""
+
+
+@dataclass
+class LockManager:
+    """2PL lock table stored in a shard's state store."""
+
+    state: StateStore
+
+    def lock_key(self, key: str) -> str:
+        return f"{LOCK_PREFIX}{key}"
+
+    def holder(self, key: str) -> Optional[str]:
+        """The transaction currently holding the lock on ``key`` (None if free)."""
+        return self.state.get(self.lock_key(key))
+
+    def is_locked(self, key: str) -> bool:
+        return self.holder(key) is not None
+
+    def acquire(self, key: str, tx_id: str) -> None:
+        """Acquire the lock on ``key`` for ``tx_id`` (re-entrant for the same holder)."""
+        current = self.holder(key)
+        if current is not None and current != tx_id:
+            raise LockConflict(f"key {key!r} is locked by {current!r}")
+        self.state.put(self.lock_key(key), tx_id)
+
+    def acquire_all(self, keys: Iterable[str], tx_id: str) -> List[str]:
+        """Acquire all locks or none (releases what it took on conflict)."""
+        acquired: List[str] = []
+        try:
+            for key in keys:
+                self.acquire(key, tx_id)
+                acquired.append(key)
+        except LockConflict:
+            for key in acquired:
+                self.release(key, tx_id)
+            raise
+        return acquired
+
+    def release(self, key: str, tx_id: str) -> bool:
+        """Release the lock on ``key`` if held by ``tx_id``; returns True if released."""
+        if self.holder(key) == tx_id:
+            self.state.delete(self.lock_key(key))
+            return True
+        return False
+
+    def release_all(self, keys: Iterable[str], tx_id: str) -> int:
+        return sum(1 for key in keys if self.release(key, tx_id))
+
+    def held_by(self, tx_id: str) -> List[str]:
+        """All keys currently locked by ``tx_id`` (linear scan; used in tests)."""
+        held = []
+        for key, value in self.state.items():
+            if key.startswith(LOCK_PREFIX) and value == tx_id:
+                held.append(key[len(LOCK_PREFIX):])
+        return held

@@ -1,0 +1,179 @@
+"""The reference committee's 2PC state machine (Figure 6).
+
+The reference committee ``R`` is a BFT committee that runs a simple state
+machine for each distributed transaction:
+
+* ``BeginTx`` moves the transaction into **Started** and initialises a
+  counter ``c`` with the number of involved transaction committees;
+* every quorum of ``PrepareOK`` responses decrements ``c`` (state
+  **Preparing**) and the transaction moves to **Committed** once ``c = 0``;
+* a quorum of ``PrepareNotOK`` moves it to **Aborted** immediately.
+
+The object is deterministic and side-effect free, so it can be replicated by
+any BFT protocol; :class:`ReferenceCommitteeChaincode` exposes the same logic
+through the chaincode interface so it can be deployed on a
+:class:`~repro.consensus.cluster.ConsensusCluster` exactly as Section 6.3
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.errors import ChaincodeError, ReproError
+from repro.ledger.chaincode import Chaincode
+from repro.ledger.state import StateStore
+
+
+class CoordinatorState(str, Enum):
+    """States of the reference committee's per-transaction state machine."""
+
+    STARTED = "started"
+    PREPARING = "preparing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class InvalidTransition(ReproError):
+    """An event was applied to a transaction in an incompatible state."""
+
+
+@dataclass
+class _TxEntry:
+    state: CoordinatorState
+    pending_committees: int
+    responded: Dict[int, bool] = field(default_factory=dict)
+
+
+@dataclass
+class ReferenceCommitteeStateMachine:
+    """The deterministic 2PC coordinator state machine."""
+
+    transactions: Dict[str, _TxEntry] = field(default_factory=dict)
+
+    def begin(self, tx_id: str, num_committees: int) -> CoordinatorState:
+        """``BeginTx``: register the transaction and enter Started."""
+        if num_committees < 1:
+            raise InvalidTransition("a distributed transaction involves at least one committee")
+        if tx_id in self.transactions:
+            return self.transactions[tx_id].state
+        self.transactions[tx_id] = _TxEntry(
+            state=CoordinatorState.STARTED, pending_committees=num_committees,
+        )
+        return CoordinatorState.STARTED
+
+    def state_of(self, tx_id: str) -> Optional[CoordinatorState]:
+        entry = self.transactions.get(tx_id)
+        return entry.state if entry else None
+
+    def prepare_ok(self, tx_id: str, shard_id: int) -> CoordinatorState:
+        """A quorum of PrepareOK arrived from ``shard_id``."""
+        entry = self._entry(tx_id)
+        if entry.state in (CoordinatorState.COMMITTED, CoordinatorState.ABORTED):
+            return entry.state
+        if shard_id in entry.responded:
+            return entry.state
+        entry.responded[shard_id] = True
+        entry.pending_committees -= 1
+        if entry.pending_committees <= 0:
+            entry.state = CoordinatorState.COMMITTED
+        else:
+            entry.state = CoordinatorState.PREPARING
+        return entry.state
+
+    def prepare_not_ok(self, tx_id: str, shard_id: int) -> CoordinatorState:
+        """A quorum of PrepareNotOK arrived from ``shard_id``: abort."""
+        entry = self._entry(tx_id)
+        if entry.state == CoordinatorState.COMMITTED:
+            # 2PC safety: a committed transaction can never abort.  A NotOK
+            # after commit means the shard's vote arrived late and is stale.
+            return entry.state
+        if shard_id in entry.responded and entry.state == CoordinatorState.ABORTED:
+            return entry.state
+        entry.responded[shard_id] = False
+        entry.state = CoordinatorState.ABORTED
+        return entry.state
+
+    def is_decided(self, tx_id: str) -> bool:
+        state = self.state_of(tx_id)
+        return state in (CoordinatorState.COMMITTED, CoordinatorState.ABORTED)
+
+    def _entry(self, tx_id: str) -> _TxEntry:
+        entry = self.transactions.get(tx_id)
+        if entry is None:
+            raise InvalidTransition(f"unknown transaction {tx_id!r} (BeginTx not executed)")
+        return entry
+
+
+class ReferenceCommitteeChaincode(Chaincode):
+    """The reference committee state machine exposed as a chaincode.
+
+    The per-transaction state lives in the blockchain state of the reference
+    committee's shard (keys ``2pc_state_<tx>`` and ``2pc_pending_<tx>``), so
+    the paper's observation holds: no separate coordinator log is needed for
+    recovery because the coordinator's state *is* on the blockchain.
+    """
+
+    name = "refcommittee"
+
+    @staticmethod
+    def _state_key(tx_id: str) -> str:
+        return f"2pc_state_{tx_id}"
+
+    @staticmethod
+    def _pending_key(tx_id: str) -> str:
+        return f"2pc_pending_{tx_id}"
+
+    @staticmethod
+    def _responded_key(tx_id: str, shard_id: int) -> str:
+        return f"2pc_resp_{tx_id}_{shard_id}"
+
+    def invoke(self, state: StateStore, function: str, args: Dict[str, Any]) -> Any:
+        tx_id = str(args.get("tx_id", ""))
+        if not tx_id:
+            raise ChaincodeError("missing tx_id")
+        if function == "beginTx":
+            return self._begin(state, tx_id, int(args.get("num_committees", 0)))
+        if function == "prepareOK":
+            return self._vote(state, tx_id, int(args.get("shard_id", -1)), ok=True)
+        if function == "prepareNotOK":
+            return self._vote(state, tx_id, int(args.get("shard_id", -1)), ok=False)
+        if function == "status":
+            return {"tx_id": tx_id, "state": state.get(self._state_key(tx_id))}
+        raise ChaincodeError(f"refcommittee has no function {function!r}")
+
+    def _begin(self, state: StateStore, tx_id: str, num_committees: int) -> Dict[str, Any]:
+        if num_committees < 1:
+            raise ChaincodeError("num_committees must be at least 1")
+        if state.exists(self._state_key(tx_id)):
+            return {"tx_id": tx_id, "state": state.get(self._state_key(tx_id))}
+        state.put(self._state_key(tx_id), CoordinatorState.STARTED.value)
+        state.put(self._pending_key(tx_id), num_committees)
+        return {"tx_id": tx_id, "state": CoordinatorState.STARTED.value}
+
+    def _vote(self, state: StateStore, tx_id: str, shard_id: int, ok: bool) -> Dict[str, Any]:
+        current = state.get(self._state_key(tx_id))
+        if current is None:
+            raise ChaincodeError(f"BeginTx has not been executed for {tx_id!r}")
+        if current == CoordinatorState.COMMITTED.value:
+            return {"tx_id": tx_id, "state": current}
+        if not ok:
+            state.put(self._state_key(tx_id), CoordinatorState.ABORTED.value)
+            return {"tx_id": tx_id, "state": CoordinatorState.ABORTED.value}
+        if current == CoordinatorState.ABORTED.value:
+            return {"tx_id": tx_id, "state": current}
+        responded_key = self._responded_key(tx_id, shard_id)
+        if state.exists(responded_key):
+            return {"tx_id": tx_id, "state": current}
+        state.put(responded_key, True)
+        pending = int(state.get(self._pending_key(tx_id), 0)) - 1
+        state.put(self._pending_key(tx_id), pending)
+        new_state = CoordinatorState.COMMITTED if pending <= 0 else CoordinatorState.PREPARING
+        state.put(self._state_key(tx_id), new_state.value)
+        return {"tx_id": tx_id, "state": new_state.value}
+
+    def keys_touched(self, function: str, args: Dict[str, Any]) -> tuple:
+        tx_id = str(args.get("tx_id", ""))
+        return (self._state_key(tx_id),)

@@ -1,0 +1,28 @@
+"""Workloads: the BLOCKBENCH benchmarks the paper evaluates with.
+
+* :mod:`repro.workloads.kvstore` — the KVStore (YCSB-style) benchmark; the
+  multi-shard variant issues 3 updates per transaction as in Section 7.
+* :mod:`repro.workloads.smallbank` — the Smallbank benchmark, with the
+  ``sendPayment`` chaincode refactored into ``preparePayment`` /
+  ``commitPayment`` / ``abortPayment`` exactly as Section 6.3 describes.
+* :mod:`repro.workloads.zipf` — Zipf-skewed key selection (the contention
+  knob of Figure 13 right).
+* :mod:`repro.workloads.generator` — transaction stream generators that mix
+  single-shard and cross-shard transactions.
+"""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.kvstore import KVStoreChaincode, KVStoreWorkload
+from repro.workloads.smallbank import SmallbankChaincode, SmallbankWorkload, initial_balances
+from repro.workloads.generator import WorkloadGenerator, WorkloadMix
+
+__all__ = [
+    "ZipfGenerator",
+    "KVStoreChaincode",
+    "KVStoreWorkload",
+    "SmallbankChaincode",
+    "SmallbankWorkload",
+    "initial_balances",
+    "WorkloadGenerator",
+    "WorkloadMix",
+]

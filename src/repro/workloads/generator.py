@@ -1,0 +1,102 @@
+"""Workload mixes for the sharded system experiments.
+
+The sharded experiments need a stream of transactions with a controlled mix
+of single-shard and cross-shard operations (and Appendix B tells us the
+cross-shard fraction implied by uniformly hashed keys).  The generator here
+produces such a stream for either benchmark and reports the realised mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.ledger.transaction import Transaction
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+
+def shard_of_key(key: str, num_shards: int) -> int:
+    """Deterministic key-to-shard mapping (hash partitioning)."""
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be at least 1")
+    import hashlib
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+@dataclass
+class WorkloadMix:
+    """Realised statistics of a generated transaction stream."""
+
+    total: int = 0
+    cross_shard: int = 0
+    shards_touched: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        return self.cross_shard / self.total if self.total else 0.0
+
+    def record(self, shards: Sequence[int]) -> None:
+        self.total += 1
+        distinct = len(set(shards))
+        self.shards_touched[distinct] = self.shards_touched.get(distinct, 0) + 1
+        if distinct > 1:
+            self.cross_shard += 1
+
+
+class WorkloadGenerator:
+    """Generates a transaction stream for an ``num_shards``-shard deployment.
+
+    Parameters
+    ----------
+    benchmark:
+        "kvstore" (3 updates per transaction, as in Section 7) or "smallbank"
+        (sendPayment reading and writing two accounts).
+    num_shards:
+        Used only to report the realised cross-shard mix; routing itself is
+        done by the sharded system from the transaction's keys.
+    """
+
+    def __init__(self, benchmark: str = "smallbank", num_shards: int = 2,
+                 zipf_coefficient: float = 0.0, num_keys: int = 10_000,
+                 seed: int = 0) -> None:
+        self.benchmark = benchmark
+        self.num_shards = num_shards
+        self.mix = WorkloadMix()
+        self._rng = random.Random(seed)
+        if benchmark == "kvstore":
+            self._workload = KVStoreWorkload(
+                num_keys=num_keys, updates_per_transaction=3,
+                zipf_coefficient=zipf_coefficient, seed=seed,
+            )
+        elif benchmark == "smallbank":
+            self._workload = SmallbankWorkload(
+                num_accounts=num_keys, zipf_coefficient=zipf_coefficient, seed=seed,
+            )
+        else:
+            raise WorkloadError(f"unknown benchmark {benchmark!r}")
+
+    @property
+    def chaincode(self):
+        return self._workload.chaincode
+
+    def populate(self, state) -> None:
+        self._workload.populate(state)
+
+    def next_transaction(self, client_id: str = "client", now: float = 0.0) -> Transaction:
+        tx = self._workload.next_transaction(client_id=client_id, now=now)
+        shards = [shard_of_key(key, self.num_shards) for key in tx.keys]
+        self.mix.record(shards)
+        return tx
+
+    def batch(self, count: int, client_id: str = "client", now: float = 0.0) -> List[Transaction]:
+        return [self.next_transaction(client_id, now) for _ in range(count)]
+
+    def tx_factory(self) -> Callable:
+        """Adapter matching the client-driver ``tx_factory`` signature."""
+        def factory(client_id: str, now: float, rng, count: int) -> List[Transaction]:
+            return self.batch(count, client_id=client_id, now=now)
+        return factory

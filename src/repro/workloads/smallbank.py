@@ -1,0 +1,200 @@
+"""The Smallbank benchmark (Section 6.3 and Section 7).
+
+Smallbank models a simple banking application.  The paper's multi-shard
+experiments use the ``sendPayment`` transaction, which reads and writes two
+different accounts, and refactor its chaincode into three functions —
+``preparePayment``, ``commitPayment`` and ``abortPayment`` — so it can run
+under the 2PC/2PL coordination protocol.  Locking is implemented by writing a
+boolean to the blockchain state under the key ``"L_" + account``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ChaincodeError, WorkloadError
+from repro.ledger.chaincode import Chaincode
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction
+from repro.workloads.zipf import ZipfGenerator
+
+#: Default initial balance of every account.
+DEFAULT_BALANCE = 10_000
+
+
+def account_key(account: str) -> str:
+    return f"acc_{account}"
+
+
+def lock_key(account: str) -> str:
+    return f"L_{account_key(account)}"
+
+
+def initial_balances(num_accounts: int, balance: int = DEFAULT_BALANCE) -> Dict[str, int]:
+    """The initial account table loaded before the benchmark starts."""
+    return {account_key(str(index)): balance for index in range(num_accounts)}
+
+
+class SmallbankChaincode(Chaincode):
+    """The Smallbank chaincode, including the sharded (prepare/commit/abort) functions."""
+
+    name = "smallbank"
+
+    def invoke(self, state: StateStore, function: str, args: Dict[str, Any]) -> Any:
+        handlers = {
+            "createAccount": self._create_account,
+            "query": self._query,
+            "deposit": self._deposit,
+            "sendPayment": self._send_payment,
+            "preparePayment": self._prepare_payment,
+            "commitPayment": self._commit_payment,
+            "abortPayment": self._abort_payment,
+        }
+        handler = handlers.get(function)
+        if handler is None:
+            raise ChaincodeError(f"smallbank has no function {function!r}")
+        return handler(state, args)
+
+    # ------------------------------------------------------------ single-shard
+    @staticmethod
+    def _create_account(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        account = str(args["account"])
+        state.put(account_key(account), int(args.get("balance", DEFAULT_BALANCE)))
+        return {"account": account}
+
+    @staticmethod
+    def _query(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        account = str(args["account"])
+        balance = state.get(account_key(account))
+        if balance is None:
+            raise ChaincodeError(f"unknown account {account!r}")
+        return {"account": account, "balance": balance}
+
+    @staticmethod
+    def _deposit(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        account = str(args["account"])
+        amount = int(args["amount"])
+        balance = state.get(account_key(account), 0)
+        state.put(account_key(account), balance + amount)
+        return {"account": account, "balance": balance + amount}
+
+    @staticmethod
+    def _send_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        """The original single-shard sendPayment: check funds, debit, credit."""
+        source = str(args["from"])
+        destination = str(args["to"])
+        amount = int(args["amount"])
+        source_balance = state.get(account_key(source))
+        destination_balance = state.get(account_key(destination))
+        if source_balance is None or destination_balance is None:
+            raise ChaincodeError("unknown account in sendPayment")
+        if source_balance < amount:
+            raise ChaincodeError(f"insufficient funds in account {source!r}")
+        state.put(account_key(source), source_balance - amount)
+        state.put(account_key(destination), destination_balance + amount)
+        return {"from": source, "to": destination, "amount": amount}
+
+    # --------------------------------------------------------------- sharded
+    @staticmethod
+    def _prepare_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 1: acquire locks on the locally owned accounts and check funds.
+
+        ``accounts`` lists the accounts stored on this shard; ``debit`` names
+        the account to be debited if it lives here.
+        """
+        tx_id = str(args.get("tx_id", ""))
+        accounts = [str(acc) for acc in args.get("accounts", [])]
+        amount = int(args.get("amount", 0))
+        debit_account = args.get("debit")
+        for account in accounts:
+            if not state.exists(account_key(account)):
+                raise ChaincodeError(f"unknown account {account!r}")
+            holder = state.get(lock_key(account))
+            if holder is not None and holder != tx_id:
+                raise ChaincodeError(f"account {account!r} is locked by {holder!r}")
+        if debit_account is not None and str(debit_account) in accounts:
+            balance = state.get(account_key(str(debit_account)), 0)
+            if balance < amount:
+                raise ChaincodeError(f"insufficient funds in account {debit_account!r}")
+        for account in accounts:
+            state.put(lock_key(account), tx_id)
+        return {"prepared": accounts, "tx_id": tx_id}
+
+    @staticmethod
+    def _commit_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2 (commit): apply balance deltas and release the locks."""
+        tx_id = str(args.get("tx_id", ""))
+        deltas: List[Tuple[str, int]] = [
+            (str(account), int(delta)) for account, delta in args.get("deltas", [])
+        ]
+        for account, delta in deltas:
+            balance = state.get(account_key(account), 0)
+            state.put(account_key(account), balance + delta)
+            if state.get(lock_key(account)) == tx_id:
+                state.delete(lock_key(account))
+        return {"committed": [account for account, _ in deltas], "tx_id": tx_id}
+
+    @staticmethod
+    def _abort_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2 (abort): release any locks held by this transaction."""
+        tx_id = str(args.get("tx_id", ""))
+        accounts = [str(acc) for acc in args.get("accounts", [])]
+        for account in accounts:
+            if state.get(lock_key(account)) == tx_id:
+                state.delete(lock_key(account))
+        return {"aborted": accounts, "tx_id": tx_id}
+
+    def keys_touched(self, function: str, args: Dict[str, Any]) -> Tuple[str, ...]:
+        if function in ("createAccount", "query", "deposit"):
+            return (account_key(str(args["account"])),)
+        if function == "sendPayment":
+            return (account_key(str(args["from"])), account_key(str(args["to"])))
+        if function in ("preparePayment", "abortPayment"):
+            return tuple(account_key(str(acc)) for acc in args.get("accounts", []))
+        if function == "commitPayment":
+            return tuple(account_key(str(acc)) for acc, _ in args.get("deltas", []))
+        return ()
+
+
+class SmallbankWorkload:
+    """Generates Smallbank sendPayment transactions with Zipf-skewed account choice."""
+
+    def __init__(self, num_accounts: int = 10_000, zipf_coefficient: float = 0.0,
+                 max_amount: int = 50, seed: int = 0) -> None:
+        if num_accounts < 2:
+            raise WorkloadError("smallbank needs at least two accounts")
+        self.chaincode = SmallbankChaincode()
+        self.num_accounts = num_accounts
+        self.max_amount = max_amount
+        self._rng = random.Random(seed)
+        self._zipf = ZipfGenerator(num_accounts, zipf_coefficient, rng=self._rng)
+
+    def populate(self, state: StateStore) -> None:
+        """Load the initial account balances into a shard's state store."""
+        for key, balance in initial_balances(self.num_accounts).items():
+            state.put(key, balance)
+
+    def pick_accounts(self) -> Tuple[str, str]:
+        source, destination = self._zipf.sample_many(2, distinct=True)
+        return str(source), str(destination)
+
+    def next_transaction(self, client_id: str = "client", now: float = 0.0) -> Transaction:
+        """A sendPayment transaction between two distinct accounts."""
+        source, destination = self.pick_accounts()
+        args = {
+            "from": source,
+            "to": destination,
+            "amount": self._rng.randint(1, self.max_amount),
+        }
+        return self.chaincode.new_transaction("sendPayment", args, client_id=client_id,
+                                              submitted_at=now)
+
+    def batch(self, count: int, client_id: str = "client", now: float = 0.0) -> List[Transaction]:
+        return [self.next_transaction(client_id, now) for _ in range(count)]
+
+    def tx_factory(self):
+        """Adapter matching the client-driver ``tx_factory`` signature."""
+        def factory(client_id: str, now: float, rng, count: int) -> List[Transaction]:
+            return self.batch(count, client_id=client_id, now=now)
+        return factory

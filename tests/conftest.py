@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.latency import LanLatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A LAN network attached to the ``sim`` fixture."""
+    return Network(sim, LanLatencyModel(jitter_fraction=0.0))
+
+
+def small_cluster(protocol: str = "AHL+", n: int = 4, seed: int = 1, **overrides):
+    """Build a small single-committee cluster for integration-style tests."""
+    from repro.consensus.cluster import ConsensusCluster
+
+    config = {"batch_size": 20, "view_change_timeout": 3.0, "pipeline_depth": 4}
+    config.update(overrides)
+    return ConsensusCluster(protocol=protocol, n=n, config_overrides=config, seed=seed)

@@ -1,0 +1,101 @@
+"""Tests for the lockstep baselines (Tendermint, IBFT, Raft) and PoET/PoET+."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.cluster import ConsensusCluster, NoopChaincode
+from repro.consensus.poet import PoetNetworkConfig, run_poet_network
+
+FAST = {"batch_size": 20, "view_change_timeout": 3.0}
+
+
+def make_txs(count):
+    chaincode = NoopChaincode()
+    return [chaincode.new_transaction("write", {"keys": (f"k{i}",), "value": i})
+            for i in range(count)]
+
+
+def build(protocol, n=4, **extra):
+    overrides = dict(FAST)
+    overrides.update(extra)
+    return ConsensusCluster(protocol=protocol, n=n, config_overrides=overrides, seed=3)
+
+
+@pytest.mark.parametrize("protocol", ["Tendermint", "IBFT", "Raft"])
+class TestLockstepBaselines:
+    def test_transactions_commit(self, protocol):
+        cluster = build(protocol, n=4, min_block_interval=0.05)
+        cluster.submit(make_txs(30))
+        cluster.run(20.0)
+        assert cluster.honest_observer().committed_transactions() == 30
+
+    def test_no_duplicate_commits(self, protocol):
+        cluster = build(protocol, n=4, min_block_interval=0.05)
+        cluster.submit(make_txs(15))
+        cluster.run(20.0)
+        observer = cluster.honest_observer()
+        ids = [tx.tx_id for block in observer.blockchain.blocks() for tx in block.transactions]
+        assert len(ids) == len(set(ids)) == 15
+
+
+class TestLockstepBehaviour:
+    def test_rotating_protocols_spread_proposals_across_nodes(self):
+        cluster = build("Tendermint", n=4, min_block_interval=0.01, batch_size=5)
+        cluster.submit(make_txs(40))
+        cluster.run(30.0)
+        observer = cluster.honest_observer()
+        proposers = {block.header.proposer for block in observer.blockchain.blocks()[1:]}
+        assert len(proposers) > 1
+
+    def test_raft_keeps_a_stable_leader(self):
+        cluster = build("Raft", n=4, min_block_interval=0.01, batch_size=5)
+        cluster.submit(make_txs(40))
+        cluster.run(30.0)
+        observer = cluster.honest_observer()
+        proposers = {block.header.proposer for block in observer.blockchain.blocks()[1:]}
+        assert len(proposers) == 1
+
+    def test_lockstep_throughput_below_pipelined_under_load(self):
+        """Figure 2's core observation: pipelined PBFT beats the lockstep protocols."""
+        results = {}
+        for protocol in ("HL", "Raft"):
+            cluster = build(protocol, n=7, batch_size=100)
+            cluster.add_open_loop_clients(6, rate_tps=300, batch_size=10)
+            results[protocol] = cluster.run(5.0).throughput_tps
+        assert results["HL"] > results["Raft"]
+
+
+class TestPoet:
+    def test_poet_produces_a_consistent_main_chain(self):
+        config = PoetNetworkConfig(n=8, block_size_mb=2.0, wait_scale=120.0, q_bits=0)
+        outcome = run_poet_network(config, duration=600.0, seed=1)
+        assert outcome.main_chain_blocks > 5
+        assert outcome.total_blocks >= outcome.main_chain_blocks
+        assert 0.0 <= outcome.stale_rate <= 1.0
+        assert outcome.throughput_tps > 0
+
+    def test_poet_plus_reduces_stale_rate(self):
+        n = 32
+        poet = run_poet_network(
+            PoetNetworkConfig(n=n, block_size_mb=8.0, wait_scale=120.0, q_bits=0),
+            duration=400.0, seed=2)
+        poet_plus = run_poet_network(
+            PoetNetworkConfig(n=n, block_size_mb=8.0, wait_scale=120.0,
+                              q_bits=PoetNetworkConfig.poet_plus_q_bits(n)),
+            duration=1200.0, seed=2)
+        assert poet_plus.stale_rate <= poet.stale_rate
+
+    def test_stale_rate_grows_with_network_size(self):
+        small = run_poet_network(
+            PoetNetworkConfig(n=2, block_size_mb=8.0, wait_scale=120.0), duration=2000.0, seed=3)
+        large = run_poet_network(
+            PoetNetworkConfig(n=32, block_size_mb=8.0, wait_scale=120.0), duration=400.0, seed=3)
+        assert large.stale_rate >= small.stale_rate
+
+    def test_config_derived_quantities(self):
+        config = PoetNetworkConfig(n=16, block_size_mb=2.0, tx_bytes=512)
+        assert config.txs_per_block == 4096
+        assert config.propagation_delay() > 0
+        assert config.receive_cost() > config.validation_cost()
+        assert PoetNetworkConfig.poet_plus_q_bits(128) >= 3

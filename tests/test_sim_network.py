@@ -1,0 +1,161 @@
+"""Tests for the simulated network and node CPU/queue model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.latency import LanLatencyModel, UniformLatencyModel
+from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
+from repro.sim.node import SimProcess
+from repro.sim.simulator import Simulator
+
+
+class Recorder(SimProcess):
+    """A node that records the messages it handles."""
+
+    def __init__(self, *args, cost: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.cost = cost
+        self.handled = []
+
+    def message_cost(self, message: Message) -> float:
+        return self.cost
+
+    def handle_message(self, message: Message) -> None:
+        self.handled.append((self.sim.now, message.kind, message.sender))
+
+
+def build(sim=None, latency=None, **node_kwargs):
+    sim = sim or Simulator(seed=1)
+    network = Network(sim, latency or UniformLatencyModel(0.01, jitter_fraction=0.0))
+    nodes = [Recorder(i, sim, network, **node_kwargs) for i in range(3)]
+    return sim, network, nodes
+
+
+class TestNetworkDelivery:
+    def test_point_to_point_delivery_with_latency(self):
+        sim, network, nodes = build()
+        network.send(0, 1, Message(sender=0, kind="ping"))
+        sim.run()
+        assert len(nodes[1].handled) == 1
+        time, kind, sender = nodes[1].handled[0]
+        assert kind == "ping" and sender == 0
+        assert time == pytest.approx(0.01, abs=1e-6)
+
+    def test_broadcast_excludes_only_listed_targets(self):
+        sim, network, nodes = build()
+        network.broadcast(0, [1, 2], Message(sender=0, kind="hello"))
+        sim.run()
+        assert len(nodes[1].handled) == 1
+        assert len(nodes[2].handled) == 1
+        assert nodes[0].handled == []
+
+    def test_send_to_unknown_node_raises(self):
+        sim, network, nodes = build()
+        with pytest.raises(NetworkError):
+            network.send(0, 99, Message(sender=0, kind="ping"))
+
+    def test_duplicate_registration_rejected(self):
+        sim, network, nodes = build()
+        with pytest.raises(NetworkError):
+            network.register(nodes[0])
+
+    def test_crashed_node_receives_nothing(self):
+        sim, network, nodes = build()
+        nodes[1].crash()
+        network.send(0, 1, Message(sender=0, kind="ping"))
+        sim.run()
+        assert nodes[1].handled == []
+        assert network.stats.messages_dropped == 1
+
+    def test_recovered_node_receives_again(self):
+        sim, network, nodes = build()
+        nodes[1].crash()
+        nodes[1].recover()
+        network.send(0, 1, Message(sender=0, kind="ping"))
+        sim.run()
+        assert len(nodes[1].handled) == 1
+
+    def test_blocked_link_drops_messages_one_way(self):
+        sim, network, nodes = build()
+        network.block_link(0, 1)
+        network.send(0, 1, Message(sender=0, kind="a"))
+        network.send(1, 0, Message(sender=1, kind="b"))
+        sim.run()
+        assert nodes[1].handled == []
+        assert len(nodes[0].handled) == 1
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, network, nodes = build()
+        network.set_partition([[0], [1, 2]])
+        network.send(0, 1, Message(sender=0, kind="x"))
+        network.send(1, 2, Message(sender=1, kind="y"))
+        sim.run()
+        assert nodes[1].handled == [] or nodes[1].handled[0][1] != "x"
+        assert any(kind == "y" for _, kind, _ in nodes[2].handled)
+        network.heal_partition()
+        network.send(0, 1, Message(sender=0, kind="x2"))
+        sim.run()
+        assert any(kind == "x2" for _, kind, _ in nodes[1].handled)
+
+    def test_drop_rate_one_drops_everything(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, UniformLatencyModel(0.01), drop_rate=1.0)
+        nodes = [Recorder(i, sim, network) for i in range(2)]
+        for _ in range(10):
+            network.send(0, 1, Message(sender=0, kind="ping"))
+        sim.run()
+        assert nodes[1].handled == []
+        assert network.stats.messages_dropped == 10
+
+    def test_stats_count_messages_and_bytes(self):
+        sim, network, nodes = build()
+        network.send(0, 1, Message(sender=0, kind="ping", size_bytes=100))
+        network.send(0, 2, Message(sender=0, kind="ping", size_bytes=200))
+        sim.run()
+        assert network.stats.messages_sent == 2
+        assert network.stats.bytes_sent == 300
+        assert network.stats.messages_delivered == 2
+
+
+class TestNodeCpuModel:
+    def test_serial_cpu_accumulates_processing_time(self):
+        sim, network, nodes = build(cost=1.0)
+        network.send(0, 1, Message(sender=0, kind="a"))
+        network.send(0, 1, Message(sender=0, kind="b"))
+        sim.run()
+        # Both arrive at ~0.01 but the CPU serialises them 1 second apart.
+        times = [time for time, _, _ in nodes[1].handled]
+        assert times[1] - times[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounded_shared_queue_drops_overflow(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, UniformLatencyModel(0.001, jitter_fraction=0.0))
+        node = Recorder(0, sim, network, cost=10.0, queue_capacity=2)
+        sender = Recorder(1, sim, network)
+        for _ in range(5):
+            network.send(1, 0, Message(sender=1, kind="m"))
+        sim.run(until=1.0)
+        assert node.stats.messages_dropped_queue_full == 3
+
+    def test_separate_queues_protect_consensus_channel(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, UniformLatencyModel(0.001, jitter_fraction=0.0))
+        node = Recorder(0, sim, network, cost=10.0, queue_capacity=2, separate_queues=True)
+        sender = Recorder(1, sim, network)
+        for _ in range(5):
+            network.send(1, 0, Message(sender=1, kind="req", channel=REQUEST_CHANNEL))
+        for _ in range(2):
+            network.send(1, 0, Message(sender=1, kind="con", channel=CONSENSUS_CHANNEL))
+        sim.run(until=1.0)
+        dropped = node.stats.dropped_by_channel
+        assert dropped.get(REQUEST_CHANNEL, 0) == 3
+        assert dropped.get(CONSENSUS_CHANNEL, 0) == 0
+
+    def test_crashed_node_does_not_process_queued_work(self):
+        sim, network, nodes = build(cost=0.5)
+        network.send(0, 1, Message(sender=0, kind="a"))
+        nodes[1].crash()
+        sim.run()
+        assert nodes[1].handled == []

@@ -1,0 +1,140 @@
+"""Tests for the discrete-event simulator core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_events_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, order.append, ("b",))
+        queue.push(1.0, order.append, ("a",))
+        queue.push(3.0, order.append, ("c",))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.push(1.0, order.append, (label,))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        order = []
+        event = queue.push(1.0, order.append, ("x",))
+        queue.push(2.0, order.append, ("y",))
+        event.cancel()
+        while queue:
+            popped = queue.pop()
+            if popped:
+                popped.fire()
+        assert order == ["y"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(-1.0, lambda: None)
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert sim.pending_events == 7
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_fork_rng_is_deterministic(self):
+        first = Simulator(seed=7).fork_rng("x").random()
+        second = Simulator(seed=7).fork_rng("x").random()
+        third = Simulator(seed=7).fork_rng("y").random()
+        assert first == second
+        assert first != third
+
+    def test_run_until_idle_raises_on_budget_exhaustion(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=10)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,193 @@
+"""Tests for the workloads: Zipf generator, KVStore, Smallbank, workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ChaincodeError, WorkloadError
+from repro.ledger.state import StateStore
+from repro.workloads.generator import WorkloadGenerator, shard_of_key
+from repro.workloads.kvstore import KVStoreChaincode, KVStoreWorkload
+from repro.workloads.smallbank import (
+    SmallbankChaincode,
+    SmallbankWorkload,
+    account_key,
+    initial_balances,
+    lock_key,
+)
+from repro.workloads.zipf import ZipfGenerator
+
+
+class TestZipf:
+    def test_uniform_when_coefficient_zero(self):
+        generator = ZipfGenerator(population=100, coefficient=0.0, seed=1)
+        samples = [generator.sample() for _ in range(2000)]
+        assert min(samples) >= 0 and max(samples) < 100
+        # Roughly uniform: the most popular rank should not dominate.
+        top_share = samples.count(max(set(samples), key=samples.count)) / len(samples)
+        assert top_share < 0.1
+
+    def test_skew_concentrates_on_low_ranks(self):
+        skewed = ZipfGenerator(population=1000, coefficient=1.5, seed=1)
+        samples = [skewed.sample() for _ in range(2000)]
+        head_share = sum(1 for value in samples if value < 10) / len(samples)
+        assert head_share > 0.5
+
+    def test_distinct_sampling(self):
+        generator = ZipfGenerator(population=10, coefficient=2.0, seed=1)
+        values = generator.sample_many(10, distinct=True)
+        assert sorted(values) == list(range(10))
+        with pytest.raises(WorkloadError):
+            generator.sample_many(11, distinct=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(population=0)
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(population=5, coefficient=-1)
+
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_in_range(self, population, coefficient):
+        generator = ZipfGenerator(population, coefficient, seed=3)
+        for _ in range(20):
+            assert 0 <= generator.sample() < population
+
+
+class TestKVStore:
+    def test_put_get_roundtrip(self):
+        chaincode = KVStoreChaincode()
+        state = StateStore()
+        chaincode.invoke(state, "put", {"key": "k", "value": "v"})
+        assert chaincode.invoke(state, "get", {"key": "k"}) == "v"
+
+    def test_multi_put_writes_all_keys(self):
+        chaincode = KVStoreChaincode()
+        state = StateStore()
+        chaincode.invoke(state, "multi_put", {"writes": [("a", 1), ("b", 2), ("c", 3)]})
+        assert state.get("b") == 2
+
+    def test_prepare_commit_cycle_with_locks(self):
+        chaincode = KVStoreChaincode()
+        state = StateStore()
+        writes = [("a", 1), ("b", 2)]
+        chaincode.invoke(state, "prepare_multi_put", {"tx_id": "t1", "writes": writes})
+        assert state.get("L_a") == "t1"
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(state, "prepare_multi_put", {"tx_id": "t2", "writes": [("a", 9)]})
+        chaincode.invoke(state, "commit_multi_put", {"tx_id": "t1", "writes": writes})
+        assert state.get("a") == 1
+        assert state.get("L_a") is None
+
+    def test_abort_releases_only_own_locks(self):
+        chaincode = KVStoreChaincode()
+        state = StateStore()
+        chaincode.invoke(state, "prepare_multi_put", {"tx_id": "t1", "writes": [("a", 1)]})
+        chaincode.invoke(state, "abort_multi_put", {"tx_id": "other", "writes": [("a", 1)]})
+        assert state.get("L_a") == "t1"
+        chaincode.invoke(state, "abort_multi_put", {"tx_id": "t1", "writes": [("a", 1)]})
+        assert state.get("L_a") is None
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ChaincodeError):
+            KVStoreChaincode().invoke(StateStore(), "frobnicate", {})
+
+    def test_workload_generates_requested_update_count(self):
+        workload = KVStoreWorkload(num_keys=100, updates_per_transaction=3, seed=1)
+        tx = workload.next_transaction()
+        assert tx.function == "multi_put"
+        assert len(tx.keys) == 3
+        assert len(set(tx.keys)) == 3
+
+    def test_workload_single_update_uses_put(self):
+        workload = KVStoreWorkload(num_keys=100, updates_per_transaction=1, seed=1)
+        assert workload.next_transaction().function == "put"
+
+
+class TestSmallbank:
+    def _funded_state(self):
+        state = StateStore()
+        for key, balance in initial_balances(10).items():
+            state.put(key, balance)
+        return state
+
+    def test_send_payment_moves_funds(self):
+        chaincode = SmallbankChaincode()
+        state = self._funded_state()
+        chaincode.invoke(state, "sendPayment", {"from": "1", "to": "2", "amount": 100})
+        assert state.get(account_key("1")) == 9900
+        assert state.get(account_key("2")) == 10100
+
+    def test_send_payment_insufficient_funds_aborts(self):
+        chaincode = SmallbankChaincode()
+        state = self._funded_state()
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(state, "sendPayment", {"from": "1", "to": "2", "amount": 10**9})
+        assert state.get(account_key("1")) == 10000  # untouched
+
+    def test_prepare_checks_funds_and_locks(self):
+        chaincode = SmallbankChaincode()
+        state = self._funded_state()
+        chaincode.invoke(state, "preparePayment",
+                         {"tx_id": "t", "accounts": ["1"], "amount": 50, "debit": "1"})
+        assert state.get(lock_key("1")) == "t"
+        with pytest.raises(ChaincodeError):
+            chaincode.invoke(state, "preparePayment",
+                             {"tx_id": "u", "accounts": ["1"], "amount": 1, "debit": "1"})
+
+    def test_commit_applies_deltas_and_releases_locks(self):
+        chaincode = SmallbankChaincode()
+        state = self._funded_state()
+        chaincode.invoke(state, "preparePayment",
+                         {"tx_id": "t", "accounts": ["1", "2"], "amount": 50, "debit": "1"})
+        chaincode.invoke(state, "commitPayment",
+                         {"tx_id": "t", "deltas": [("1", -50), ("2", 50)]})
+        assert state.get(account_key("1")) == 9950
+        assert state.get(account_key("2")) == 10050
+        assert state.get(lock_key("1")) is None
+
+    def test_money_conservation_across_prepare_commit(self):
+        chaincode = SmallbankChaincode()
+        state = self._funded_state()
+        total_before = sum(state.get(account_key(str(i))) for i in range(10))
+        chaincode.invoke(state, "preparePayment",
+                         {"tx_id": "t", "accounts": ["3", "4"], "amount": 123, "debit": "3"})
+        chaincode.invoke(state, "commitPayment",
+                         {"tx_id": "t", "deltas": [("3", -123), ("4", 123)]})
+        total_after = sum(state.get(account_key(str(i))) for i in range(10))
+        assert total_before == total_after
+
+    def test_workload_transactions_use_distinct_accounts(self):
+        workload = SmallbankWorkload(num_accounts=50, seed=2)
+        for _ in range(20):
+            tx = workload.next_transaction()
+            assert tx.args["from"] != tx.args["to"]
+            assert len(tx.keys) == 2
+
+    def test_query_unknown_account_fails(self):
+        with pytest.raises(ChaincodeError):
+            SmallbankChaincode().invoke(StateStore(), "query", {"account": "ghost"})
+
+
+class TestWorkloadGenerator:
+    def test_shard_of_key_deterministic_and_in_range(self):
+        for key in ("a", "acc_7", "kv_123"):
+            shard = shard_of_key(key, 8)
+            assert 0 <= shard < 8
+            assert shard == shard_of_key(key, 8)
+
+    def test_mix_tracks_cross_shard_fraction(self):
+        generator = WorkloadGenerator(benchmark="smallbank", num_shards=4, num_keys=200, seed=1)
+        generator.batch(200)
+        assert generator.mix.total == 200
+        assert 0.4 < generator.mix.cross_shard_fraction <= 1.0
+
+    def test_kvstore_generator_issues_three_updates(self):
+        generator = WorkloadGenerator(benchmark="kvstore", num_shards=4, num_keys=500, seed=1)
+        tx = generator.next_transaction()
+        assert len(tx.keys) == 3
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(benchmark="tpcc")
