@@ -20,6 +20,7 @@ Public API overview
 from repro.core.config import ShardedSystemConfig
 from repro.core.system import ShardedBlockchain, ShardedRunResult
 from repro.core.client_api import ShardedClient, attach_clients
+from repro.core.driver import OpenLoopDriver, attach_open_loop_drivers
 from repro.consensus.cluster import ConsensusCluster, build_cluster, PROTOCOLS
 from repro.sim.simulator import Simulator
 from repro.sim.network import Network
@@ -32,6 +33,8 @@ __all__ = [
     "ShardedRunResult",
     "ShardedClient",
     "attach_clients",
+    "OpenLoopDriver",
+    "attach_open_loop_drivers",
     "ConsensusCluster",
     "build_cluster",
     "PROTOCOLS",

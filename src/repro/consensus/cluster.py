@@ -8,8 +8,8 @@ together, and is the workhorse behind the consensus experiments (Figures 2,
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.consensus.ahl import AhlReplica, ahl_config
 from repro.consensus.ahl_plus import AhlPlusReplica, ahl_plus_config, ahl_opt1_config
@@ -341,8 +341,12 @@ class ConsensusCluster:
 
     # -------------------------------------------------------------------- run
     def run(self, duration: float, max_events: Optional[int] = None) -> ClusterRunResult:
-        """Run the simulation for ``duration`` seconds and summarise the outcome."""
-        self.sim.run(until=self.sim.now + duration, max_events=max_events)
+        """Run the simulation for ``duration`` seconds and summarise the outcome.
+
+        Uses the batched drain loop, which executes the identical event order
+        as the one-at-a-time loop with less scheduler overhead.
+        """
+        self.sim.run_batched(until=self.sim.now + duration, max_events=max_events)
         return self.result(duration)
 
     def result(self, duration: float) -> ClusterRunResult:

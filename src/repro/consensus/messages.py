@@ -7,7 +7,7 @@ TEE attested-log proofs that AHL-family protocols require on every message.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.ledger.block import Block

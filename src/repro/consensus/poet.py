@@ -23,7 +23,7 @@ and growing stale rate the paper reports.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.ledger.block import Block, build_block

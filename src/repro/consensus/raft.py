@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Set
 
 from repro.consensus import messages as m
-from repro.consensus.base import ConsensusConfig, ConsensusReplica, _Instance
+from repro.consensus.base import ConsensusConfig, ConsensusReplica
 from repro.sim.network import Message
 
 

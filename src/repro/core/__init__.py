@@ -12,6 +12,7 @@ behaviour can be measured end to end.
 from repro.core.config import ShardedSystemConfig
 from repro.core.system import ShardedBlockchain, ShardedRunResult
 from repro.core.client_api import ShardedClient
+from repro.core.driver import DriverStats, OpenLoopDriver, attach_open_loop_drivers
 from repro.core.splitters import SmallbankSplitter, KVStoreSplitter, TransactionSplitter
 
 __all__ = [
@@ -19,6 +20,9 @@ __all__ = [
     "ShardedBlockchain",
     "ShardedRunResult",
     "ShardedClient",
+    "OpenLoopDriver",
+    "DriverStats",
+    "attach_open_loop_drivers",
     "TransactionSplitter",
     "SmallbankSplitter",
     "KVStoreSplitter",

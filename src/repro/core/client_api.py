@@ -46,12 +46,18 @@ class ShardedClient:
         self.client_id = client_id
         self.outstanding = outstanding
         self.max_transactions = max_transactions
+        # The seed must not depend on Python's per-process string hashing
+        # (PYTHONHASHSEED), or identical runs in different processes would
+        # draw different workloads; derive it from a stable digest instead.
+        import hashlib
+        stable = int.from_bytes(
+            hashlib.sha256(client_id.encode("utf-8")).digest()[:4], "big")
         self.workload = workload or WorkloadGenerator(
             benchmark=system.config.benchmark,
             num_shards=system.config.num_shards,
             zipf_coefficient=system.config.zipf_coefficient,
             num_keys=system.config.num_keys,
-            seed=hash(client_id) % (2 ** 31),
+            seed=stable % (2 ** 31),
         )
         self.stats = ClientStats()
         self._in_flight = 0

@@ -31,6 +31,9 @@ class ShardedSystemConfig:
     #: One-way delay charged when the client/coordinator relays a message
     #: between the reference committee and a transaction committee.
     relay_delay: float = 0.002
+    #: When False, completed transactions' coordinator records are discarded
+    #: immediately, bounding memory on long (100k+ transaction) runs.
+    retain_tx_records: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

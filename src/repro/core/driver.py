@@ -1,0 +1,203 @@
+"""Streaming open-loop client driver for the sharded system.
+
+The seed harness pre-generated every client transaction before the run (via
+``WorkloadGenerator.batch``), so a paper-scale run (Figs. 13/14: 100k+
+transactions across many shards) paid for all transactions up front and held
+them in memory for the whole simulation.  :class:`OpenLoopDriver` replaces
+that with a BLOCKBENCH-style **open-loop** arrival process: transactions are
+generated *lazily, one batch per arrival tick*, submitted at a fixed rate
+regardless of completion, and forgotten as soon as they complete — so memory
+is bounded by the number of in-flight transactions, not the run length.
+
+Determinism: the driver's entire arrival process is derived from the
+simulator clock and the workload generator's seeded RNG, so a given
+``(system seed, driver config)`` pair always produces the identical
+transaction stream and identical commit/abort counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.system import ShardedBlockchain
+from repro.errors import ConfigurationError
+from repro.txn.coordinator import DistributedTxOutcome, DistributedTxRecord
+from repro.workloads.generator import WorkloadGenerator
+
+
+@dataclass
+class DriverStats:
+    """Aggregate statistics kept by an open-loop driver.
+
+    Latencies are accumulated as running sums (not per-transaction lists) so
+    the driver's footprint stays constant over arbitrarily long runs.
+    """
+
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    in_flight: int = 0
+    max_in_flight: int = 0
+    latency_sum: float = 0.0
+    latency_count: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.completed if self.completed else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.latency_count if self.latency_count else 0.0
+
+
+class OpenLoopDriver:
+    """Submits transactions to a :class:`ShardedBlockchain` at a fixed rate.
+
+    Parameters
+    ----------
+    system:
+        The sharded deployment to drive.
+    rate_tps:
+        Aggregate arrival rate in transactions per second of simulated time.
+    max_transactions:
+        Stop submitting after this many transactions (None = until the run's
+        time bound).
+    batch_size:
+        Transactions generated and submitted per arrival tick.  Larger
+        batches reduce scheduler overhead at a small cost in arrival-time
+        granularity.
+    max_in_flight:
+        Optional admission bound: when this many transactions are
+        outstanding, new arrivals are *dropped on the floor* rather than
+        queued (the open-loop driver never slows down, matching BLOCKBENCH's
+        behaviour under overload), keeping memory strictly bounded.
+    workload:
+        Transaction source; defaults to the system's configured benchmark
+        with a seed derived from the system seed and ``stream_index``.
+    stream_index:
+        Distinguishes the default workload streams of several drivers on one
+        system (each index draws an independent deterministic stream).
+    """
+
+    def __init__(self, system: ShardedBlockchain, rate_tps: float,
+                 max_transactions: Optional[int] = None,
+                 batch_size: int = 1,
+                 max_in_flight: Optional[int] = None,
+                 workload: Optional[WorkloadGenerator] = None,
+                 client_id: str = "open-loop",
+                 stream_index: int = 0) -> None:
+        if rate_tps <= 0:
+            raise ConfigurationError("rate_tps must be positive")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be at least 1")
+        self.system = system
+        self.rate_tps = rate_tps
+        self.max_transactions = max_transactions
+        self.batch_size = batch_size
+        self.max_in_flight = max_in_flight
+        self.client_id = client_id
+        self.workload = workload or WorkloadGenerator(
+            benchmark=system.config.benchmark,
+            num_shards=system.config.num_shards,
+            zipf_coefficient=system.config.zipf_coefficient,
+            num_keys=system.config.num_keys,
+            seed=system.config.seed * 7919 + 1 + stream_index,
+        )
+        self.stats = DriverStats()
+        self.dropped_arrivals = 0
+        self._started = False
+
+    # ---------------------------------------------------------------- driving
+    def start(self) -> "OpenLoopDriver":
+        """Begin the arrival process at the current simulated time."""
+        if not self._started:
+            self._started = True
+            self.system.sim.schedule(0.0, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        stats = self.stats
+        remaining = (None if self.max_transactions is None
+                     else self.max_transactions - stats.submitted)
+        if remaining is not None and remaining <= 0:
+            return
+        count = self.batch_size if remaining is None else min(self.batch_size, remaining)
+        now = self.system.sim.now
+        for _ in range(count):
+            if (self.max_in_flight is not None
+                    and stats.in_flight >= self.max_in_flight):
+                self.dropped_arrivals += 1
+                continue
+            tx = self.workload.next_transaction(client_id=self.client_id, now=now)
+            stats.submitted += 1
+            stats.in_flight += 1
+            if stats.in_flight > stats.max_in_flight:
+                stats.max_in_flight = stats.in_flight
+            self.system.submit_transaction(tx, on_complete=self._on_complete)
+        self.system.sim.schedule(self.batch_size / self.rate_tps, self._tick)
+
+    def _on_complete(self, record: DistributedTxRecord) -> None:
+        stats = self.stats
+        stats.in_flight -= 1
+        if record.outcome is DistributedTxOutcome.COMMITTED:
+            stats.committed += 1
+        else:
+            stats.aborted += 1
+        latency = record.latency
+        if latency is not None:
+            stats.latency_sum += latency
+            stats.latency_count += 1
+
+    # ------------------------------------------------------------------- runs
+    def run_to_completion(self, drain_timeout: float = 120.0,
+                          max_events: Optional[int] = None) -> DriverStats:
+        """Run until every submitted transaction completes (or times out).
+
+        Drives the simulation in bounded slices: first until ``max_transactions``
+        have been submitted, then up to ``drain_timeout`` additional simulated
+        seconds for the tail to commit.  Requires ``max_transactions``.
+        """
+        if self.max_transactions is None:
+            raise ConfigurationError("run_to_completion requires max_transactions")
+        self.start()
+        sim = self.system.sim
+        submit_horizon = self.max_transactions / self.rate_tps
+        sim.run_batched(until=sim.now + submit_horizon, max_events=max_events)
+        deadline = sim.now + drain_timeout
+        while self.stats.completed < self.stats.submitted and sim.now < deadline:
+            if not sim.pending_events:
+                break
+            sim.run_batched(until=min(sim.now + 1.0, deadline), max_events=max_events)
+        return self.stats
+
+
+def attach_open_loop_drivers(system: ShardedBlockchain, count: int, rate_tps: float,
+                             max_transactions: Optional[int] = None,
+                             batch_size: int = 1,
+                             max_in_flight: Optional[int] = None) -> List[OpenLoopDriver]:
+    """Create and start ``count`` drivers, splitting ``rate_tps`` evenly."""
+    if count < 1:
+        raise ConfigurationError("count must be at least 1")
+    drivers = []
+    for index in range(count):
+        if max_transactions is None:
+            per_driver = None
+        else:
+            # Distribute the remainder over the first drivers so the totals
+            # sum exactly to max_transactions.
+            per_driver = max_transactions // count + (1 if index < max_transactions % count else 0)
+        driver = OpenLoopDriver(
+            system, rate_tps=rate_tps / count, max_transactions=per_driver,
+            batch_size=batch_size, max_in_flight=max_in_flight,
+            client_id=f"open-loop-{index}", stream_index=index,
+        )
+        driver.start()
+        drivers.append(driver)
+    return drivers

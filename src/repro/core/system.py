@@ -18,9 +18,8 @@ sharding — the usability extension discussed in Section 6.4.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.consensus.base import CommitEvent
 from repro.consensus.cluster import ConsensusCluster
@@ -32,7 +31,7 @@ from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
 from repro.sharding.assignment import assign_committees
 from repro.sharding.committee import CommitteeAssignment
 from repro.sim.latency import LanLatencyModel
-from repro.sim.monitor import Monitor, mean_or_zero
+from repro.sim.monitor import Monitor
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 from repro.txn.coordinator import (
@@ -41,6 +40,7 @@ from repro.txn.coordinator import (
     TwoPhaseCommitCoordinator,
 )
 from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeChaincode
+from repro.workloads.generator import shard_of_key
 from repro.workloads.kvstore import KVStoreWorkload
 from repro.workloads.smallbank import SmallbankWorkload
 
@@ -71,7 +71,8 @@ class ShardedBlockchain:
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, config.latency_model or LanLatencyModel())
         self.monitor = Monitor()
-        self.coordinator = TwoPhaseCommitCoordinator(config.use_reference_committee)
+        self.coordinator = TwoPhaseCommitCoordinator(
+            config.use_reference_committee, retain_records=config.retain_tx_records)
         self.splitter = splitter_for(config.benchmark)
         self._completion_callbacks: Dict[str, Callable[[DistributedTxRecord], None]] = {}
         self._receipt_watchers: Dict[str, Callable[[TransactionReceipt], None]] = {}
@@ -166,9 +167,13 @@ class ShardedBlockchain:
 
     # --------------------------------------------------------------- routing
     def shard_of_key(self, key: str) -> int:
-        """Hash partitioning of the key space over the shards."""
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big") % self.config.num_shards
+        """Hash partitioning of the key space over the shards (memoized).
+
+        Delegates to the workload generator's routing function so the client
+        side and the system side share one (cached) definition of the
+        partitioning.
+        """
+        return shard_of_key(key, self.config.num_shards)
 
     def shards_for_transaction(self, tx: Transaction) -> List[int]:
         """The shards whose state a benchmark transaction touches."""
@@ -303,8 +308,13 @@ class ShardedBlockchain:
 
     # ------------------------------------------------------------------- run
     def run(self, duration: float, max_events: Optional[int] = None) -> ShardedRunResult:
-        """Advance the simulation and summarise the coordinator statistics."""
-        self.sim.run(until=self.sim.now + duration, max_events=max_events)
+        """Advance the simulation and summarise the coordinator statistics.
+
+        Uses the batched drain loop (:meth:`Simulator.run_batched`), which is
+        observationally equivalent to the one-at-a-time loop but cheaper on
+        message-heavy runs.
+        """
+        self.sim.run_batched(until=self.sim.now + duration, max_events=max_events)
         return self.result(duration)
 
     def result(self, duration: float) -> ShardedRunResult:

@@ -38,6 +38,14 @@ class OperationCosts:
     #: Cost of a chaincode invocation wrapper (Fabric-like overhead per tx).
     chaincode_overhead: float = 20.0 * MICROSECOND
 
+    # Derived costs are looked up on every consensus message / block in the
+    # simulation hot path, so the arithmetic is memoized in a per-instance
+    # cache (kept off the dataclass fields so eq/hash/asdict are unaffected,
+    # and dropped with the instance — no process-global cache pinning
+    # instances alive).
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_derived", {})
+
     def ahlr_aggregation(self, quorum_messages: int) -> float:
         """Cost for the AHLR enclave to verify and aggregate ``quorum_messages`` messages.
 
@@ -46,25 +54,42 @@ class OperationCosts:
         """
         if quorum_messages < 0:
             raise ValueError("quorum_messages must be non-negative")
-        return (
-            self.enclave_switch
-            + self.ahlr_aggregation_base
-            + quorum_messages * self.ahlr_aggregation_per_message
-        )
+        cache = self._derived
+        value = cache.get(("ahlr", quorum_messages))
+        if value is None:
+            value = (
+                self.enclave_switch
+                + self.ahlr_aggregation_base
+                + quorum_messages * self.ahlr_aggregation_per_message
+            )
+            cache[("ahlr", quorum_messages)] = value
+        return value
 
     def attested_append(self) -> float:
         """Cost of one attested append (enclave switch + append + signature)."""
-        return self.enclave_switch + self.ahl_append
+        value = self._derived.get("append")
+        if value is None:
+            value = self._derived["append"] = self.enclave_switch + self.ahl_append
+        return value
 
     def beacon_invocation(self) -> float:
         """Cost of one RandomnessBeacon enclave invocation."""
-        return self.enclave_switch + self.randomness_beacon
+        value = self._derived.get("beacon")
+        if value is None:
+            value = self._derived["beacon"] = self.enclave_switch + self.randomness_beacon
+        return value
 
     def block_execution(self, num_transactions: int) -> float:
         """Cost of executing a block of ``num_transactions`` transactions."""
         if num_transactions < 0:
             raise ValueError("num_transactions must be non-negative")
-        return num_transactions * (self.tx_execution + self.chaincode_overhead)
+        cache = self._derived
+        value = cache.get(("block", num_transactions))
+        if value is None:
+            value = cache[("block", num_transactions)] = (
+                num_transactions * (self.tx_execution + self.chaincode_overhead)
+            )
+        return value
 
     def with_overrides(self, **kwargs: float) -> "OperationCosts":
         """Return a copy with selected costs replaced (used in ablations)."""

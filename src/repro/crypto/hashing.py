@@ -22,7 +22,12 @@ def _canonical(value: Any) -> Any:
         return {str(key): _canonical(val) for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if isinstance(value, bool):
+        # Python equality conflates bools with their integer values
+        # (False == 0, True == 1); canonicalise the same way so equal values
+        # always produce equal digests.
+        return int(value)
+    if isinstance(value, (str, int, float)) or value is None:
         return value
     if isinstance(value, bytes):
         return {"__bytes__": value.hex()}

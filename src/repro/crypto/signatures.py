@@ -33,6 +33,10 @@ class Signature:
         return self.digest == digest_of(message)
 
 
+#: Cap on each key pair's digest->mac memo; cleared wholesale when exceeded.
+_MAC_CACHE_MAX = 65536
+
+
 class KeyPair:
     """A simulated signing key pair identified by ``owner``.
 
@@ -40,29 +44,45 @@ class KeyPair:
     key seed; the "public key" is the owner identity itself.  Within the
     simulation, only the holder of the :class:`KeyPair` object can produce
     valid signatures for that owner.
+
+    MAC computation is memoized per digest: when a committee of N replicas
+    verifies the same signature (through the shared registry), the HMAC is
+    computed once at signing time and the N verifications are cache hits.
     """
 
     def __init__(self, owner: str, seed: str = "") -> None:
         self.owner = owner
         self._secret = hashlib.sha256(f"key:{owner}:{seed}".encode("utf-8")).digest()
+        self._mac_cache: dict[str, str] = {}
 
     @property
     def public_key(self) -> str:
         """The public identity bound to signatures from this key."""
         return self.owner
 
+    def _mac_for(self, digest: str) -> str:
+        cache = self._mac_cache
+        mac = cache.get(digest)
+        if mac is None:
+            mac = hmac.new(self._secret, digest.encode("utf-8"), hashlib.sha256).hexdigest()
+            if len(cache) >= _MAC_CACHE_MAX:
+                cache.clear()
+            cache[digest] = mac
+        return mac
+
     def sign(self, message: Any) -> Signature:
         """Sign an arbitrary JSON-like message."""
         digest = digest_of(message)
-        mac = hmac.new(self._secret, digest.encode("utf-8"), hashlib.sha256).hexdigest()
-        return Signature(signer=self.owner, digest=digest, mac=mac)
+        return Signature(signer=self.owner, digest=digest, mac=self._mac_for(digest))
 
     def verify_own(self, signature: Signature, message: Any) -> bool:
         """Verify a signature allegedly produced by this key."""
         if signature.signer != self.owner:
             return False
-        expected = self.sign(message)
-        return hmac.compare_digest(expected.mac, signature.mac)
+        digest = digest_of(message)
+        if digest != signature.digest:
+            return False
+        return hmac.compare_digest(self._mac_for(digest), signature.mac)
 
 
 class SignatureVerifier:
@@ -84,9 +104,21 @@ class SignatureVerifier:
 #: A process-wide registry used when protocols verify each other's signatures.
 _GLOBAL_VERIFIER = SignatureVerifier()
 
+#: Bumped on every (re-)registration; caches of verification *results* key on
+#: this so a verdict computed against an older registry state is never reused
+#: after key material changes (see repro.tee.attested_log).
+_REGISTRY_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Current generation of the global key registry."""
+    return _REGISTRY_GENERATION
+
 
 def register_keypair(keypair: KeyPair) -> None:
     """Register a key pair with the global verifier."""
+    global _REGISTRY_GENERATION
+    _REGISTRY_GENERATION += 1
     _GLOBAL_VERIFIER.register(keypair)
 
 

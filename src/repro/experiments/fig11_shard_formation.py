@@ -9,14 +9,13 @@ generation, comparing our TEE beacon protocol against RandHound with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.baselines.randhound import randhound_running_time
 from repro.experiments.common import ExperimentResult
 from repro.sharding.beacon_protocol import (
     BeaconProtocol,
     analytical_running_time,
-    recommended_q_bits,
 )
 from repro.sharding.sizing import committee_size_table
 from repro.sim.latency import LanLatencyModel, gcp_latency_model

@@ -9,7 +9,7 @@ as the workload skew (Zipf coefficient) grows.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.client_api import attach_clients
 from repro.core.config import ShardedSystemConfig

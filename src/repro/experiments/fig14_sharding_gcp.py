@@ -12,7 +12,7 @@ and the simulator can be compared in the same table.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.client_api import attach_clients
 from repro.core.config import ShardedSystemConfig

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from repro.crypto.costs import DEFAULT_COSTS, TABLE2_PAPER_VALUES_US, TABLE2_ROWS
+from repro.crypto.costs import TABLE2_PAPER_VALUES_US, TABLE2_ROWS
 from repro.experiments.common import ExperimentResult
 from repro.tee.attested_log import AttestedAppendOnlyLog
 from repro.tee.randomness_beacon import RandomnessBeaconEnclave

@@ -66,13 +66,23 @@ class Transaction:
 
     @property
     def digest(self) -> str:
-        """Content digest of the transaction."""
-        return digest_of({
-            "tx_id": self.tx_id,
-            "chaincode": self.chaincode,
-            "function": self.function,
-            "args": self.args,
-        })
+        """Content digest of the transaction (computed once, then cached).
+
+        Every replica recomputes the Merkle root over the block's transaction
+        digests, so the digest is memoized on the instance; writing straight
+        to ``__dict__`` sidesteps the frozen-dataclass ``__setattr__`` guard
+        without weakening it for the declared fields.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_of({
+                "tx_id": self.tx_id,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+            })
+            self.__dict__["_digest"] = cached
+        return cached
 
     def num_arguments(self) -> int:
         """Number of distinct state keys touched (``d`` in Appendix B)."""

@@ -16,7 +16,6 @@ The model mirrors the DES cost accounting:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.crypto.costs import DEFAULT_COSTS, OperationCosts
 from repro.errors import ConfigurationError

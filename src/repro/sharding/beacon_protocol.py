@@ -16,8 +16,8 @@ with ``P_repeat = (1 - 2^-l)^N``.  The paper sets
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.crypto.costs import DEFAULT_COSTS, OperationCosts
 from repro.errors import ShardingError

@@ -22,9 +22,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest_of
-from repro.crypto.signatures import Signature, verify_signature
+from repro.crypto.signatures import Signature, registry_generation, verify_signature
 from repro.errors import EnclaveError
 from repro.tee.enclave import Enclave, SealedBlob
+
+
+#: Memo of attestation -> (registry generation, verification outcome).  One
+#: attestation object is broadcast to a whole committee, so the enclave
+#: signature is checked once and the remaining N-1 verifications are
+#: dictionary hits.  Keys include the signature MAC, so attestations from
+#: different key material never collide; entries are invalidated whenever the
+#: global key registry changes (a verdict depends on the registered keys, not
+#: just the attestation).
+_VERIFY_MEMO: Dict["LogAttestation", tuple] = {}
+_VERIFY_MEMO_MAX = 65536
 
 
 @dataclass(frozen=True)
@@ -39,8 +50,16 @@ class LogAttestation:
 
     def verify(self) -> bool:
         """Check the enclave signature over (log, position, digest)."""
+        generation = registry_generation()
+        cached = _VERIFY_MEMO.get(self)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         body = {"log": self.log_name, "position": self.position, "digest": self.digest}
-        return verify_signature(self.signature, body)
+        result = verify_signature(self.signature, body)
+        if len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
+            _VERIFY_MEMO.clear()
+        _VERIFY_MEMO[self] = (generation, result)
+        return result
 
 
 @dataclass

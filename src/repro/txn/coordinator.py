@@ -86,12 +86,19 @@ class DistributedTxRecord:
 
 @dataclass
 class CoordinatorStats:
-    """Aggregate statistics over all distributed transactions seen by a coordinator."""
+    """Aggregate statistics over all distributed transactions seen by a coordinator.
+
+    The mean latency is maintained as a running sum so it stays O(1) in
+    memory; the per-transaction ``latencies`` list is only populated when the
+    coordinator retains records (it is skipped in bounded-memory mode).
+    """
 
     started: int = 0
     committed: int = 0
     aborted: int = 0
     cross_shard: int = 0
+    latency_sum: float = 0.0
+    latency_count: int = 0
     latencies: List[float] = field(default_factory=list)
 
     @property
@@ -101,7 +108,7 @@ class CoordinatorStats:
 
     @property
     def mean_latency(self) -> float:
-        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        return self.latency_sum / self.latency_count if self.latency_count else 0.0
 
 
 class TwoPhaseCommitCoordinator:
@@ -114,10 +121,18 @@ class TwoPhaseCommitCoordinator:
         :class:`ReferenceCommitteeStateMachine`; when False the coordinator
         itself decides (the classic, trusted 2PC coordinator), which is the
         "w/o R" configuration of Figure 13.
+    retain_records:
+        When False, a transaction's record (and its reference-committee
+        entry) is discarded the moment it completes; aggregate statistics
+        are unaffected.  Long open-loop runs use this to keep the
+        coordinator's memory bounded by the in-flight window instead of the
+        run length.
     """
 
-    def __init__(self, use_reference_committee: bool = True) -> None:
+    def __init__(self, use_reference_committee: bool = True,
+                 retain_records: bool = True) -> None:
         self.use_reference_committee = use_reference_committee
+        self.retain_records = retain_records
         self.reference = ReferenceCommitteeStateMachine()
         self.records: Dict[str, DistributedTxRecord] = {}
         self.stats = CoordinatorStats()
@@ -151,8 +166,16 @@ class TwoPhaseCommitCoordinator:
 
     # ----------------------------------------------------------------- voting
     def record_prepare_vote(self, tx_id: str, shard_id: int, ok: bool,
-                            now: float = 0.0, reason: Optional[str] = None) -> DistributedTxRecord:
-        """A tx-committee reached consensus on its PrepareTx and voted (step 1b)."""
+                            now: float = 0.0, reason: Optional[str] = None) -> Optional[DistributedTxRecord]:
+        """A tx-committee reached consensus on its PrepareTx and voted (step 1b).
+
+        With ``retain_records=False`` a vote may arrive for a transaction
+        that already decided, completed and was pruned (e.g. a slow shard's
+        PrepareOK after another shard's PrepareNotOK aborted the
+        transaction); such stale votes are ignored and ``None`` is returned.
+        """
+        if not self.retain_records and tx_id not in self.records:
+            return None
         record = self._record(tx_id)
         if shard_id not in record.shards:
             raise TransactionAbortedError(
@@ -184,8 +207,14 @@ class TwoPhaseCommitCoordinator:
         return record
 
     # ----------------------------------------------------------------- commit
-    def record_commit_ack(self, tx_id: str, shard_id: int, now: float = 0.0) -> DistributedTxRecord:
-        """A tx-committee executed its CommitTx/AbortTx (step 2)."""
+    def record_commit_ack(self, tx_id: str, shard_id: int, now: float = 0.0) -> Optional[DistributedTxRecord]:
+        """A tx-committee executed its CommitTx/AbortTx (step 2).
+
+        Stale acks for pruned transactions are ignored (see
+        :meth:`record_prepare_vote`).
+        """
+        if not self.retain_records and tx_id not in self.records:
+            return None
         record = self._record(tx_id)
         record.commit_acks[shard_id] = True
         if record.all_acks_in and record.phase is not DistributedTxPhase.DONE:
@@ -200,7 +229,13 @@ class TwoPhaseCommitCoordinator:
         else:
             self.stats.aborted += 1
         if record.latency is not None:
-            self.stats.latencies.append(record.latency)
+            self.stats.latency_sum += record.latency
+            self.stats.latency_count += 1
+            if self.retain_records:
+                self.stats.latencies.append(record.latency)
+        if not self.retain_records:
+            self.records.pop(record.tx_id, None)
+            self.reference.transactions.pop(record.tx_id, None)
 
     # ------------------------------------------------------------------ misc
     def _record(self, tx_id: str) -> DistributedTxRecord:

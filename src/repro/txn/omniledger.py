@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import CoordinatorFailureError, InvalidTransactionError
 from repro.txn.utxo import UTXO, UTXOSet, UTXOTransaction

@@ -8,9 +8,11 @@ produces such a stream for either benchmark and reports the realised mix.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.ledger.transaction import Transaction
@@ -18,11 +20,16 @@ from repro.workloads.kvstore import KVStoreWorkload
 from repro.workloads.smallbank import SmallbankWorkload
 
 
+@lru_cache(maxsize=262144)
 def shard_of_key(key: str, num_shards: int) -> int:
-    """Deterministic key-to-shard mapping (hash partitioning)."""
+    """Deterministic key-to-shard mapping (hash partitioning).
+
+    Benchmark key spaces are small relative to the transaction count, so the
+    SHA-256 routing hash is memoized: a 100k-transaction run re-routes the
+    same few thousand keys over and over.
+    """
     if num_shards < 1:
         raise WorkloadError("num_shards must be at least 1")
-    import hashlib
     digest = hashlib.sha256(key.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % num_shards
 
@@ -93,7 +100,29 @@ class WorkloadGenerator:
         return tx
 
     def batch(self, count: int, client_id: str = "client", now: float = 0.0) -> List[Transaction]:
+        """Materialise ``count`` transactions at once.
+
+        Prefer :meth:`stream` (or repeated :meth:`next_transaction` calls)
+        for long runs: eager batches hold the whole run's transactions in
+        memory, which is exactly what the streaming open-loop driver avoids.
+        """
         return [self.next_transaction(client_id, now) for _ in range(count)]
+
+    def stream(self, count: Optional[int] = None, client_id: str = "client",
+               now: float = 0.0) -> Iterator[Transaction]:
+        """Convenience iterator over :meth:`next_transaction`.
+
+        Lazily yields ``count`` transactions (forever when ``count`` is
+        None) from the same seeded RNG, so ``list(g.stream(n))`` equals
+        ``g.batch(n)`` for a fresh generator — but one transaction exists at
+        a time.  Note the simulation driver calls :meth:`next_transaction`
+        directly (it needs a fresh ``now`` per arrival); this iterator is
+        for library users generating streams outside a simulation.
+        """
+        produced = 0
+        while count is None or produced < count:
+            yield self.next_transaction(client_id, now)
+            produced += 1
 
     def tx_factory(self) -> Callable:
         """Adapter matching the client-driver ``tx_factory`` signature."""

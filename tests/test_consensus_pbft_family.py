@@ -6,8 +6,7 @@ import pytest
 
 from repro.consensus.base import ConsensusConfig
 from repro.consensus.byzantine import CrashAttacker, EquivocatingAttacker, SilentLeader
-from repro.consensus.cluster import ConsensusCluster, NoopChaincode, default_tx_factory
-from repro.ledger.transaction import Transaction
+from repro.consensus.cluster import ConsensusCluster, NoopChaincode
 
 FAST = {"batch_size": 20, "view_change_timeout": 3.0, "pipeline_depth": 4}
 

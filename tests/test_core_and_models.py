@@ -6,12 +6,11 @@ import pytest
 
 from repro.baselines.omniledger_sizing import omniledger_committee_size, ours_committee_size
 from repro.baselines.randhound import RandHoundConfig, randhound_running_time, simulate_randhound
-from repro.core.client_api import ShardedClient, attach_clients
+from repro.core.client_api import attach_clients
 from repro.core.config import ShardedSystemConfig
 from repro.core.splitters import KVStoreSplitter, SmallbankSplitter, splitter_for
 from repro.core.system import ShardedBlockchain
 from repro.errors import ConfigurationError, WorkloadError
-from repro.ledger.transaction import Transaction
 from repro.perfmodel.throughput import committee_latency, committee_throughput, sharded_throughput
 from repro.txn.coordinator import DistributedTxOutcome
 from repro.workloads.smallbank import SmallbankChaincode, account_key
@@ -50,7 +49,8 @@ class TestSplitters:
         splitter = SmallbankSplitter()
         chaincode = SmallbankChaincode()
         tx = chaincode.new_transaction("sendPayment", {"from": "1", "to": "2", "amount": 5})
-        shard_of = lambda key: 0 if key == account_key("1") else 1
+        def shard_of(key):
+            return 0 if key == account_key("1") else 1
         shards = splitter.shards_touched(tx, shard_of)
         assert shards == [0, 1]
         prepares = splitter.prepare_transactions(tx, shard_of)
@@ -66,7 +66,8 @@ class TestSplitters:
         splitter = KVStoreSplitter()
         tx = splitter.chaincode.new_transaction(
             "multi_put", {"writes": [("a", 1), ("b", 2), ("c", 3)]})
-        shard_of = lambda key: {"a": 0, "b": 1, "c": 1}[key]
+        def shard_of(key):
+            return {"a": 0, "b": 1, "c": 1}[key]
         prepares = splitter.prepare_transactions(tx, shard_of)
         assert len(prepares[1].args["writes"]) == 2
 

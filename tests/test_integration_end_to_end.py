@@ -7,7 +7,6 @@ institutions sharding a shared ledger, processing both local and cross-border
 
 from __future__ import annotations
 
-import pytest
 
 from repro.consensus.byzantine import SilentLeader
 from repro.core.client_api import attach_clients

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NetworkError
-from repro.sim.latency import LanLatencyModel, UniformLatencyModel
+from repro.sim.latency import UniformLatencyModel
 from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
 from repro.sim.node import SimProcess
 from repro.sim.simulator import Simulator
@@ -55,6 +55,17 @@ class TestNetworkDelivery:
         sim, network, nodes = build()
         with pytest.raises(NetworkError):
             network.send(0, 99, Message(sender=0, kind="ping"))
+
+    def test_broadcast_with_unknown_node_still_delivers_earlier_recipients(self):
+        sim, network, nodes = build()
+        with pytest.raises(NetworkError):
+            network.broadcast(0, [1, 99, 2], Message(sender=0, kind="ping"))
+        sim.run()
+        # Recipient 1 precedes the unknown node, so its message must be
+        # delivered (matching the old per-send semantics); 2 comes after the
+        # failure point and is not reached.
+        assert len(nodes[1].handled) == 1
+        assert nodes[2].handled == []
 
     def test_duplicate_registration_rejected(self):
         sim, network, nodes = build()

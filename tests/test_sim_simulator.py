@@ -54,6 +54,47 @@ class TestEventQueue:
         event.cancel()
         assert queue.peek_time() == 5.0
 
+    def test_len_is_exact_after_cancellation(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        events[3].cancel()  # double-cancel is a no-op
+        assert len(queue) == 3
+        queue.clear()
+        assert len(queue) == 0 and not queue
+
+    def test_pop_batch_drains_same_time_cohort_in_fifo_order(self):
+        queue = EventQueue()
+        for label in "abc":
+            queue.push(1.0, lambda: None, (label,))
+        queue.push(2.0, lambda: None, ("later",))
+        batch = queue.pop_batch()
+        assert [event.args[0] for event in batch] == ["a", "b", "c"]
+        assert len(queue) == 1
+        assert [event.args[0] for event in queue.pop_batch()] == ["later"]
+        assert queue.pop_batch() == []
+
+    def test_pop_batch_respects_limit_and_skips_cancelled(self):
+        queue = EventQueue()
+        events = [queue.push(1.0, lambda: None, (i,)) for i in range(6)]
+        events[1].cancel()
+        batch = queue.pop_batch(limit=3)
+        assert [event.args[0] for event in batch] == [0, 2, 3]
+        assert [event.args[0] for event in queue.pop_batch()] == [4, 5]
+
+    def test_is_pending_tracks_lifecycle(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert queue.is_pending(event)
+        assert queue.last_seq == event.seq
+        event.cancel()
+        assert not queue.is_pending(event)
+        other = queue.push(2.0, lambda: None)
+        queue.pop()
+        assert not queue.is_pending(other)
+
 
 class TestSimulator:
     def test_clock_starts_at_zero(self):
@@ -118,6 +159,93 @@ class TestSimulator:
         third = Simulator(seed=7).fork_rng("y").random()
         assert first == second
         assert first != third
+
+    def test_fork_rng_same_label_yields_independent_streams(self):
+        sim = Simulator(seed=7)
+        first = sim.fork_rng("x")
+        second = sim.fork_rng("x")
+        assert first.random() != second.random()
+
+    def test_fork_rng_default_label_yields_independent_streams(self):
+        sim = Simulator(seed=7)
+        draws = [sim.fork_rng().random() for _ in range(4)]
+        assert len(set(draws)) == 4
+        # ...and the whole sequence is reproducible from the seed.
+        again = Simulator(seed=7)
+        assert draws == [again.fork_rng().random() for _ in range(4)]
+
+    def test_interleaved_schedule_and_schedule_at_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "delay-2")
+        sim.schedule_at(1.0, order.append, "at-1")
+        sim.schedule(1.0, order.append, "delay-1")
+        sim.schedule_at(2.0, order.append, "at-2")
+        sim.schedule_at(1.0, order.append, "at-1-again")
+        sim.run()
+        assert order == ["at-1", "delay-1", "at-1-again", "delay-2", "at-2"]
+
+    def test_run_batched_matches_run(self):
+        def build(drain):
+            sim = Simulator(seed=3)
+            trace = []
+
+            def tick(label, remaining):
+                trace.append((label, sim.now))
+                if remaining:
+                    sim.schedule(sim.rng.choice([0.0, 0.5, 1.0]), tick, label, remaining - 1)
+
+            for label in range(5):
+                sim.schedule(float(label % 2), tick, label, 4)
+            drain(sim)
+            return trace, sim.now, sim.events_processed
+
+        one_at_a_time = build(lambda sim: sim.run())
+        batched = build(lambda sim: sim.run_batched())
+        assert one_at_a_time == batched
+
+    def test_run_batched_honours_until_and_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.schedule(5.0, fired.append, "late")
+        assert sim.run_batched(max_events=4) == 4
+        assert fired == [0, 1, 2, 3]
+        sim.run_batched(until=2.0)
+        assert fired == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_batched_budget_ignores_cancelled_cohort_members(self):
+        # Regression: a cancelled cohort member must not consume the
+        # max_events budget — run() never counts cancelled events either.
+        def build():
+            sim = Simulator()
+            fired = []
+            holder = {}
+            sim.schedule(1.0, lambda: holder["victim"].cancel())
+            holder["victim"] = sim.schedule(1.0, fired.append, "victim")
+            sim.schedule(1.0, fired.append, "third")
+            return sim, fired
+
+        sim_a, fired_a = build()
+        sim_a.run(max_events=2)
+        sim_b, fired_b = build()
+        sim_b.run_batched(max_events=2)
+        assert fired_a == fired_b == ["third"]
+        assert sim_a.events_processed == sim_b.events_processed == 2
+
+    def test_run_batched_skips_events_cancelled_within_cohort(self):
+        # The canceller fires first (lower seq, same timestamp) and cancels a
+        # victim that was popped as part of the same cohort.
+        sim = Simulator()
+        fired = []
+        victim_holder = {}
+        sim.schedule(1.0, lambda: victim_holder["victim"].cancel())
+        victim_holder["victim"] = sim.schedule(1.0, fired.append, "victim")
+        sim.run_batched()
+        assert fired == []
 
     def test_run_until_idle_raises_on_budget_exhaustion(self):
         sim = Simulator()
