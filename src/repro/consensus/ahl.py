@@ -63,3 +63,10 @@ class AhlReplica(ConsensusReplica):
             return self.attested_log.append(log_name, position, body)
         except EnclaveError:
             return None
+
+    def _collect_garbage(self) -> None:
+        super()._collect_garbage()
+        # Attested-log entries at or below the checkpoint horizon will never
+        # be verified again; truncate them so enclave memory tracks the
+        # in-flight window (the floor keeps their slots unappendable).
+        self.attested_log.truncate_below(self._gc_horizon + 1)

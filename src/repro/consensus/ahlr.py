@@ -90,13 +90,21 @@ class AhlrReplica(AhlReplica):
         if instance.committed or not instance.prepared:
             return
         if len(instance.commits) >= self.quorum:
-            instance.committed = True
-            self._cancel_timer(instance)
+            self._mark_committed(instance)
             self._issue_aggregate(instance, phase="commit", quorum=len(instance.commits))
             self._try_execute()
 
+    def _collect_garbage(self) -> None:
+        super()._collect_garbage()
+        for key in [k for k in self._aggregated if k[0] <= self._gc_horizon]:
+            self._aggregated.discard(key)
+        for seq in [s for s in self._commit_votes if s <= self._gc_horizon]:
+            del self._commit_votes[seq]
+
     # ----------------------------------------------------------- replica side
     def _handle_aggregate(self, payload: m.AggregateCertificate) -> None:
+        if payload.seq <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.view != self.view or payload.leader != self.leader_id(payload.view):
             return
         if payload.attestation is not None and not payload.attestation.verify():
@@ -111,6 +119,5 @@ class AhlrReplica(AhlReplica):
         elif payload.phase == "commit":
             if not instance.committed and instance.block is not None:
                 instance.prepared = True
-                instance.committed = True
-                self._cancel_timer(instance)
+                self._mark_committed(instance)
                 self._try_execute()

@@ -67,6 +67,28 @@ class ConsensusConfig:
     #: Blocks between PBFT checkpoint broadcasts; a quorum of checkpoints lets
     #: replicas that missed commit messages catch up (stable checkpoints).
     checkpoint_interval: int = 10
+    #: Prune executed instances and vote sets below the stable checkpoint so
+    #: per-replica consensus state is proportional to the in-flight window
+    #: (pipeline_depth + checkpoint_interval), not the run length.  Off
+    #: reproduces the seed's keep-everything behaviour (the benchmark's
+    #: baseline path); on/off runs are message-for-message identical.
+    gc_enabled: bool = True
+    #: Capacity of the committed transaction-id dedup set (oldest ids evicted
+    #: first; they belong to long-committed transactions no live client will
+    #: resubmit).  ``None`` keeps it unbounded, as the seed did.  The seen-id
+    #: set is never capacity-evicted — under GC it self-bounds to the
+    #: pending + in-flight window because ids are discarded on commit.
+    dedup_window: Optional[int] = 200_000
+    #: Append executed blocks without re-verifying the Merkle root: the root
+    #: was computed by the proposer, carried through the pre-prepare, and a
+    #: quorum voted on its digest, so the append is trusted.  Off restores
+    #: the seed's third per-block Merkle build (untrusted ingestion).
+    trusted_append: bool = True
+    #: Ledger retention mode for each replica's chain: "full" keeps every
+    #: block body, "headers" keeps every header but only the most recent
+    #: ``ledger_retain_recent`` bodies (bounded memory for 1M-transaction runs).
+    ledger_retention: str = "full"
+    ledger_retain_recent: int = 64
 
     def fault_tolerance(self, n: int) -> int:
         """Number of Byzantine faults an ``n``-node committee tolerates."""
@@ -87,6 +109,40 @@ class ConsensusConfig:
         if f < 0:
             raise ConfigurationError("f must be non-negative")
         return 2 * f + 1 if use_attested_log else 3 * f + 1
+
+
+class BoundedIdSet(dict):
+    """A set of string ids with FIFO eviction beyond ``capacity``.
+
+    Subclasses ``dict`` (insertion-ordered) so the hot-path membership test
+    ``tx_id in ids`` stays a C-level lookup; ``capacity=None`` means
+    unbounded.  Used to bound the transaction-id dedup sets: ids old enough
+    to be evicted belong to long-committed transactions that no live client
+    will resubmit.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def add(self, item: str) -> None:
+        self[item] = None
+        if self.capacity is not None and len(self) > self.capacity:
+            del self[next(iter(self))]
+
+    def trim(self) -> None:
+        """Evict oldest ids down to capacity (amortised batch eviction).
+
+        Hot loops insert with plain ``ids[x] = None`` (a C-level store) and
+        call this once per batch instead of paying a method call per id.
+        """
+        capacity = self.capacity
+        if capacity is not None:
+            while len(self) > capacity:
+                del self[next(iter(self))]
+
+    def discard(self, item: str) -> None:
+        self.pop(item, None)
 
 
 @dataclass
@@ -162,7 +218,11 @@ class ConsensusReplica(SimProcess):
         self.monitor = monitor or Monitor()
         self.byzantine = byzantine if (byzantine and byzantine.applies_to(node_id)) else None
 
-        self.blockchain = Blockchain(shard_id=shard_id)
+        self.blockchain = Blockchain(
+            shard_id=shard_id,
+            retention=config.ledger_retention,
+            retain_recent=config.ledger_retain_recent,
+        )
         self.state = StateStore(shard_id=shard_id)
         self.registry = registry or ChaincodeRegistry()
         self.engine = ExecutionEngine(self.registry, self.state)
@@ -171,8 +231,14 @@ class ConsensusReplica(SimProcess):
         self.next_seq = 1
         self.last_executed = 0
         self.pending_txs: Deque[Transaction] = deque()
-        self.seen_tx_ids: Set[str] = set()
-        self.committed_tx_ids: Set[str] = set()
+        # seen_tx_ids is never capacity-evicted: under GC it is self-bounding
+        # (ids are discarded on commit, so it tracks pending + in-flight), and
+        # FIFO eviction could drop the id of a still-pending transaction —
+        # letting the stalled-progress rebroadcast path re-accept a duplicate.
+        # Only committed_tx_ids is windowed; its old ids belong to
+        # long-committed transactions no live client will resubmit.
+        self.seen_tx_ids = BoundedIdSet(None)
+        self.committed_tx_ids = BoundedIdSet(config.dedup_window)
         self.in_flight_tx_ids: Set[str] = set()
         self.instances: Dict[int, _Instance] = {}
         self.view_change_votes: Dict[int, Set[int]] = {}
@@ -180,6 +246,14 @@ class ConsensusReplica(SimProcess):
         self.stable_checkpoint = 0
         self.view_changes = 0
         self.blocks_proposed = 0
+        #: Number of instances in ``self.instances`` with ``committed=False``.
+        #: Maintained by _get_instance/_mark_committed/_drop_instance so the
+        #: proposal loop never scans the instance table.
+        self._outstanding = 0
+        #: Highest sequence number garbage-collected below a stable
+        #: checkpoint; messages at or below it are dropped on arrival (their
+        #: instances were executed and pruned).  Stays 0 when GC is off.
+        self._gc_horizon = 0
         self._progress_check_pending = False
         self._last_block_time = 0.0
         self._interval_retry_pending = False
@@ -228,12 +302,17 @@ class ConsensusReplica(SimProcess):
 
     def _accept_transactions(self, transactions: Sequence[Transaction]) -> None:
         accepted = False
+        seen = self.seen_tx_ids
+        committed = self.committed_tx_ids
+        pending = self.pending_txs
         for tx in transactions:
-            if tx.tx_id in self.seen_tx_ids or tx.tx_id in self.committed_tx_ids:
+            tx_id = tx.tx_id
+            if tx_id in seen or tx_id in committed:
                 continue
-            self.seen_tx_ids.add(tx.tx_id)
-            self.pending_txs.append(tx)
+            seen[tx_id] = None
+            pending.append(tx)
             accepted = True
+        seen.trim()
         if self.is_leader:
             self._maybe_propose()
         elif accepted and not self._progress_check_pending:
@@ -252,9 +331,7 @@ class ConsensusReplica(SimProcess):
             return
         if self.last_executed > executed_then:
             return
-        if not self.pending_txs and not any(
-            not inst.committed for inst in self.instances.values()
-        ):
+        if not self.pending_txs and self._outstanding == 0:
             return
         if not self.config.broadcast_requests and self.pending_txs:
             # PBFT's fallback when the leader ignores a forwarded request: the
@@ -305,7 +382,13 @@ class ConsensusReplica(SimProcess):
 
     def _phase_already_complete(self, message: Message) -> bool:
         payload = message.payload
-        instance = self.instances.get(getattr(payload, "seq", -1))
+        seq = getattr(payload, "seq", -1)
+        if 0 < seq <= self._gc_horizon:
+            # The instance was executed and pruned; both phases completed.
+            # (Mirrors the un-GC'd path, where the retained instance would
+            # report committed=True, so the modelled cost is identical.)
+            return True
+        instance = self.instances.get(seq)
         if instance is None:
             return False
         if message.kind == m.KIND_PREPARE:
@@ -333,9 +416,16 @@ class ConsensusReplica(SimProcess):
 
     def _broadcast_consensus(self, kind: str, payload: Any, size: Optional[int] = None,
                              include_self: bool = False) -> None:
+        """Broadcast a consensus message to the committee.
+
+        ``include_self=True`` delivers a copy to this replica as well (over
+        the network loopback, so it pays the same modelled latency as any
+        other local delivery) — used by protocols whose handlers treat the
+        sender's own vote like everyone else's.
+        """
         message = self._consensus_message(kind, payload, size)
         targets = self.committee if include_self else self.peers()
-        self.broadcast([t for t in targets if t != self.node_id], message)
+        self.broadcast(targets, message)
 
     def _attest(self, log_name: str, position: int, body: Any):
         """Hook for AHL-family subclasses: return a log attestation or None."""
@@ -409,10 +499,7 @@ class ConsensusReplica(SimProcess):
         while self.pending_txs:
             if self.config.max_blocks is not None and self.blocks_proposed >= self.config.max_blocks:
                 return
-            outstanding = sum(
-                1 for inst in self.instances.values() if not inst.committed
-            )
-            if outstanding >= self.config.pipeline_depth:
+            if self._outstanding >= self.config.pipeline_depth:
                 return
             if self.config.min_block_interval > 0:
                 earliest = self._last_block_time + self.config.min_block_interval
@@ -473,9 +560,29 @@ class ConsensusReplica(SimProcess):
 
     # ---------------------------------------------------------- PBFT handlers
     def _get_instance(self, seq: int) -> _Instance:
-        if seq not in self.instances:
-            self.instances[seq] = _Instance(seq=seq, view=self.view)
-        return self.instances[seq]
+        instance = self.instances.get(seq)
+        if instance is None:
+            instance = _Instance(seq=seq, view=self.view)
+            self.instances[seq] = instance
+            self._outstanding += 1
+        return instance
+
+    def _mark_committed(self, instance: _Instance) -> None:
+        """Transition an instance to committed exactly once (keeps the
+        outstanding-instance counter and the timer consistent)."""
+        if instance.committed:
+            return
+        instance.committed = True
+        self._outstanding -= 1
+        self._cancel_timer(instance)
+
+    def _drop_instance(self, seq: int) -> None:
+        """Remove an instance from the table, releasing its timer and counter slot."""
+        instance = self.instances.pop(seq, None)
+        if instance is not None:
+            self._cancel_timer(instance)
+            if not instance.committed:
+                self._outstanding -= 1
 
     def _start_timer(self, instance: _Instance) -> None:
         if instance.timer is not None:
@@ -490,6 +597,8 @@ class ConsensusReplica(SimProcess):
             instance.timer = None
 
     def _handle_pre_prepare(self, payload: m.PrePrepare) -> None:
+        if payload.seq <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.view != self.view:
             return
         if payload.leader != self.expected_proposer(payload.seq, payload.view):
@@ -531,6 +640,8 @@ class ConsensusReplica(SimProcess):
             self._broadcast_consensus(kind, payload)
 
     def _handle_prepare(self, payload: m.Prepare) -> None:
+        if payload.seq <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.view != self.view:
             return
         instance = self._get_instance(payload.seq)
@@ -565,6 +676,8 @@ class ConsensusReplica(SimProcess):
         self.cpu_execute(self._signing_cost(), self._dispatch_vote, m.KIND_COMMIT, payload)
 
     def _handle_commit(self, payload: m.Commit) -> None:
+        if payload.seq <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.view != self.view:
             return
         instance = self._get_instance(payload.seq)
@@ -580,8 +693,7 @@ class ConsensusReplica(SimProcess):
         if instance.committed or not instance.prepared:
             return
         if len(instance.commits) >= self.quorum:
-            instance.committed = True
-            self._cancel_timer(instance)
+            self._mark_committed(instance)
             self._try_execute()
 
     def _handle_aggregate(self, payload: m.AggregateCertificate) -> None:
@@ -602,9 +714,23 @@ class ConsensusReplica(SimProcess):
     def _apply_block(self, instance: _Instance) -> None:
         block = instance.block
         assert block is not None
+        gc_enabled = self.config.gc_enabled
+        committed = self.committed_tx_ids
+        seen = self.seen_tx_ids
+        in_flight = self.in_flight_tx_ids
         for tx in block.transactions:
-            self.committed_tx_ids.add(tx.tx_id)
-            self.in_flight_tx_ids.discard(tx.tx_id)
+            tx_id = tx.tx_id
+            committed[tx_id] = None
+            in_flight.discard(tx_id)
+            if gc_enabled:
+                # Once committed, dedup is served by committed_tx_ids; keeping
+                # the id in seen_tx_ids too would grow it with run length.
+                seen.pop(tx_id, None)
+        committed.trim()
+        # Re-chain the agreed block onto this replica's tip.  The Merkle root
+        # was computed once by the proposer and its digest is what the quorum
+        # voted on, so it is reused verbatim (no rebuild) and — under
+        # trusted_append — the ledger skips the redundant re-verification.
         chained = build_block(
             height=self.blockchain.height + 1,
             prev_hash=self.blockchain.tip.block_hash,
@@ -613,8 +739,9 @@ class ConsensusReplica(SimProcess):
             view=block.header.view,
             timestamp=block.header.timestamp,
             shard_id=self.shard_id,
+            merkle_root=block.header.merkle_root,
         )
-        self.blockchain.append(chained)
+        self.blockchain.append(chained, verify_merkle=not self.config.trusted_append)
         receipts = self.engine.execute_block(chained, now=self.sim.now)
         now = self.sim.now
         self._last_block_time = now
@@ -641,9 +768,11 @@ class ConsensusReplica(SimProcess):
         self._record_checkpoint_vote(payload.seq, payload.replica)
 
     def _record_checkpoint_vote(self, seq: int, replica: int) -> None:
+        if seq <= self.stable_checkpoint:
+            return  # already stable; a vote set for it could never act
         votes = self.checkpoint_votes.setdefault(seq, set())
         votes.add(replica)
-        if len(votes) >= self.quorum and seq > self.stable_checkpoint:
+        if len(votes) >= self.quorum:
             self._advance_stable_checkpoint(seq)
 
     def _advance_stable_checkpoint(self, seq: int) -> None:
@@ -652,14 +781,45 @@ class ConsensusReplica(SimProcess):
         This is PBFT's stable-checkpoint rule; it lets a replica that missed
         commit messages (e.g. they were dropped from an overloaded queue)
         catch up as long as it holds the corresponding pre-prepared blocks.
+
+        With ``gc_enabled`` the stable checkpoint additionally drives garbage
+        collection: instances this replica has executed at or below the
+        checkpoint — and the vote sets that produced it — are pruned, so the
+        instance table holds only the in-flight window.
         """
         self.stable_checkpoint = seq
         for instance in self.instances.values():
             if instance.seq <= seq and instance.block is not None and not instance.committed:
                 instance.prepared = True
-                instance.committed = True
-                self._cancel_timer(instance)
+                self._mark_committed(instance)
         self._try_execute()
+        if self.config.gc_enabled:
+            self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Prune state made obsolete by the stable checkpoint.
+
+        Only the contiguous *executed* prefix is pruned (execution is strictly
+        in-order, so every sequence number at or below
+        ``min(stable_checkpoint, last_executed)`` has been executed here);
+        instances above ``last_executed`` are retained even when the quorum's
+        checkpoint is ahead, because this replica may still need their blocks
+        to catch up.
+        """
+        horizon = min(self.stable_checkpoint, self.last_executed)
+        if horizon > self._gc_horizon:
+            for seq in range(self._gc_horizon + 1, horizon + 1):
+                self._drop_instance(seq)
+            self._gc_horizon = horizon
+        for seq in [s for s in self.checkpoint_votes if s <= self.stable_checkpoint]:
+            del self.checkpoint_votes[seq]
+        self._prune_view_change_votes()
+
+    def _prune_view_change_votes(self) -> None:
+        """Drop vote sets for views at or below the current one — a view
+        change to a view we already left (or are in) can never act."""
+        for view in [v for v in self.view_change_votes if v <= self.view]:
+            del self.view_change_votes[view]
 
     # ------------------------------------------------------------ view change
     def _on_instance_timeout(self, seq: int, view_at_start: int) -> None:
@@ -687,9 +847,7 @@ class ConsensusReplica(SimProcess):
     def _escalate_view_change(self, requested_view: int) -> None:
         if self.crashed or self.view >= requested_view:
             return
-        has_stalled_work = bool(self.pending_txs) or any(
-            not inst.committed for inst in self.instances.values()
-        )
+        has_stalled_work = bool(self.pending_txs) or self._outstanding > 0
         if has_stalled_work:
             self._request_view_change(requested_view + 1)
 
@@ -711,6 +869,8 @@ class ConsensusReplica(SimProcess):
     def _enter_view(self, new_view: int) -> None:
         self.view = new_view
         self.view_changes += 1
+        if self.config.gc_enabled:
+            self._prune_view_change_votes()
         self.monitor.counter(f"view_changes.shard{self.shard_id}").increment()
         # Reset progress on uncommitted instances; they will be re-proposed.
         pending_blocks: List[Block] = []
@@ -736,7 +896,7 @@ class ConsensusReplica(SimProcess):
                         self.pending_txs.append(tx)
             for instance in list(self.instances.values()):
                 if not instance.committed:
-                    del self.instances[instance.seq]
+                    self._drop_instance(instance.seq)
             self._maybe_propose()
 
     def _handle_new_view(self, payload: m.NewView) -> None:
@@ -748,8 +908,9 @@ class ConsensusReplica(SimProcess):
             self.view = payload.new_view
             for instance in list(self.instances.values()):
                 if not instance.committed:
-                    self._cancel_timer(instance)
-                    del self.instances[instance.seq]
+                    self._drop_instance(instance.seq)
+            if self.config.gc_enabled:
+                self._prune_view_change_votes()
 
     # ---------------------------------------------------------------- metrics
     def committed_transactions(self) -> int:

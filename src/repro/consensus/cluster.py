@@ -215,7 +215,8 @@ class ConsensusCluster:
                  seed: int = 0,
                  shard_id: int = 0,
                  sim: Optional[Simulator] = None,
-                 network: Optional[Network] = None) -> None:
+                 network: Optional[Network] = None,
+                 max_series_samples: Optional[int] = None) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigurationError(
                 f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
@@ -227,7 +228,9 @@ class ConsensusCluster:
         self.n = n
         self.sim = sim or Simulator(seed=seed)
         self.network = network or Network(self.sim, latency_model or LanLatencyModel())
-        self.monitor = Monitor()
+        # ``max_series_samples`` bounds every per-commit metric series
+        # (streaming count/sum + reservoir percentiles) for long runs.
+        self.monitor = Monitor(max_samples=max_series_samples)
         self.config: ConsensusConfig = config_factory(**(config_overrides or {}))
         self.byzantine = byzantine
         self.shard_id = shard_id

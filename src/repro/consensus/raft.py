@@ -84,6 +84,8 @@ class RaftReplica(ConsensusReplica):
             self._handle_append_response(message.payload)
 
     def _handle_append_entries(self, payload: m.AppendEntries) -> None:
+        if payload.index <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.leader != self.leader_id():
             return
         instance = self._get_instance(payload.index)
@@ -101,12 +103,13 @@ class RaftReplica(ConsensusReplica):
     def _handle_append_response(self, payload: m.AppendResponse) -> None:
         if not self.is_leader:
             return
+        if payload.index <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         acks = self._acks.setdefault(payload.index, {self.node_id})
         acks.add(payload.follower)
         instance = self._get_instance(payload.index)
         if not instance.committed and len(acks) >= self.quorum:
-            instance.committed = True
-            self._cancel_timer(instance)
+            self._mark_committed(instance)
             # Tell followers the entry is committed (piggybacked heartbeat in
             # real Raft; an explicit commit notification here).
             notify = m.Commit(view=self.view, seq=payload.index,
@@ -117,15 +120,21 @@ class RaftReplica(ConsensusReplica):
 
     def _handle_commit(self, payload: m.Commit) -> None:
         # Followers: commit notification from the leader.
+        if payload.seq <= self._gc_horizon:
+            return  # executed and pruned below a stable checkpoint
         if payload.replica != self.leader_id():
             return
         instance = self._get_instance(payload.seq)
         if instance.block is None:
             return
         if not instance.committed:
-            instance.committed = True
-            self._cancel_timer(instance)
+            self._mark_committed(instance)
             self._try_execute()
+
+    def _collect_garbage(self) -> None:
+        super()._collect_garbage()
+        for index in [i for i in self._acks if i <= self._gc_horizon]:
+            del self._acks[index]
 
     def message_cost(self, message: Message) -> float:
         costs = self.config.costs

@@ -34,6 +34,11 @@ class ShardedSystemConfig:
     #: When False, completed transactions' coordinator records are discarded
     #: immediately, bounding memory on long (100k+ transaction) runs.
     retain_tx_records: bool = True
+    #: When set, every monitor series/tracker switches to bounded storage
+    #: (running count/sum + N-sample reservoir) instead of keeping one entry
+    #: per commit — pair with retain_tx_records=False and a "headers" ledger
+    #: retention override for fully bounded 1M-transaction runs.
+    max_series_samples: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:

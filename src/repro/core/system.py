@@ -70,7 +70,7 @@ class ShardedBlockchain:
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, config.latency_model or LanLatencyModel())
-        self.monitor = Monitor()
+        self.monitor = Monitor(max_samples=config.max_series_samples)
         self.coordinator = TwoPhaseCommitCoordinator(
             config.use_reference_committee, retain_records=config.retain_tx_records)
         self.splitter = splitter_for(config.benchmark)
@@ -79,7 +79,6 @@ class ShardedBlockchain:
         self._single_shard_started: Dict[str, float] = {}
         self.single_shard_committed = 0
         self.single_shard_aborted = 0
-        self.single_shard_latencies: List[float] = []
 
         self.assignment = self._form_committees()
         self.shards: Dict[int, ConsensusCluster] = {}
@@ -115,6 +114,7 @@ class ShardedBlockchain:
             shard_id=shard_id,
             sim=self.sim,
             network=self.network,
+            max_series_samples=self.config.max_series_samples,
         )
 
     def _build_reference_cluster(self) -> ConsensusCluster:
@@ -133,6 +133,7 @@ class ShardedBlockchain:
             shard_id=REFERENCE_SHARD_ID,
             sim=self.sim,
             network=self.network,
+            max_series_samples=self.config.max_series_samples,
         )
 
     def _populate_states(self) -> None:

@@ -14,7 +14,38 @@ from typing import Any
 
 
 def _canonical(value: Any) -> Any:
-    """Convert a value into a JSON-serialisable canonical form."""
+    """Convert a value into a JSON-serialisable canonical form.
+
+    The exact-type fast paths below cover the overwhelmingly common shapes on
+    the hot path (transaction dicts, digest strings, numeric fields) without
+    touching the general chain; their output is bit-identical to
+    :func:`_canonical_general`.  Two equivalences make the shortcuts safe:
+
+    * ``json.dumps(..., sort_keys=True)`` re-sorts mapping keys at dump time,
+      so a dict whose keys are already all ``str`` needs no pre-sorting (the
+      seed pre-sorted by ``str(key)`` only so that mixed-type keys stringify
+      deterministically);
+    * exact ``type(...) is int`` excludes ``bool`` (a subclass), so the
+      bool-before-int ordering of the general chain is preserved.
+    """
+    kind = type(value)
+    if kind is str or kind is int or kind is float:
+        return value
+    if value is None:
+        return None
+    if kind is bool:
+        return int(value)
+    if kind is dict:
+        if all(type(key) is str for key in value):
+            return {key: _canonical(item) for key, item in value.items()}
+        return _canonical_general(value)
+    if kind is list or kind is tuple:
+        return [_canonical(item) for item in value]
+    return _canonical_general(value)
+
+
+def _canonical_general(value: Any) -> Any:
+    """The general canonicalisation chain (dataclasses, subclasses, bytes, sets)."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {"__dc__": type(value).__name__,
                 "fields": _canonical(dataclasses.asdict(value))}

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.crypto.hashing import digest_of
 from repro.crypto.merkle import MerkleTree
@@ -27,16 +27,27 @@ class BlockHeader:
 
     @property
     def block_hash(self) -> str:
-        """Digest of the header — the block identifier used by hash pointers."""
-        return digest_of({
-            "height": self.height,
-            "prev_hash": self.prev_hash,
-            "merkle_root": self.merkle_root,
-            "proposer": self.proposer,
-            "view": self.view,
-            "timestamp": self.timestamp,
-            "shard_id": self.shard_id,
-        })
+        """Digest of the header — the block identifier used by hash pointers.
+
+        Computed once and memoized: the chain consults the tip's hash on
+        every append and every consumer of a :class:`CommitEvent` may re-read
+        it, so re-hashing the header per access is pure waste.  Writing
+        straight to ``__dict__`` sidesteps the frozen-dataclass
+        ``__setattr__`` guard without weakening it for the declared fields.
+        """
+        cached = self.__dict__.get("_block_hash")
+        if cached is None:
+            cached = digest_of({
+                "height": self.height,
+                "prev_hash": self.prev_hash,
+                "merkle_root": self.merkle_root,
+                "proposer": self.proposer,
+                "view": self.view,
+                "timestamp": self.timestamp,
+                "shard_id": self.shard_id,
+            })
+            self.__dict__["_block_hash"] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -62,15 +73,35 @@ class Block:
         return len(self.transactions)
 
     def verify_merkle_root(self) -> bool:
-        """Check that the header's Merkle root matches the transaction list."""
-        return MerkleTree([tx.digest for tx in self.transactions]).root == self.header.merkle_root
+        """Check that the header's Merkle root matches the transaction list.
+
+        The (immutable) outcome is memoized so repeated verification of the
+        same block object — e.g. chain re-validation — hashes only once.
+        """
+        cached = self.__dict__.get("_merkle_ok")
+        if cached is None:
+            root = MerkleTree.from_leaves([tx.digest for tx in self.transactions]).root
+            cached = root == self.header.merkle_root
+            self.__dict__["_merkle_ok"] = cached
+        return cached
+
+
+def merkle_root_of(transactions: Tuple[Transaction, ...]) -> str:
+    """Merkle root over a transaction list (one tree build)."""
+    return MerkleTree.from_leaves([tx.digest for tx in transactions]).root
 
 
 def build_block(height: int, prev_hash: str, transactions: Tuple[Transaction, ...],
                 proposer: int, view: int = 0, timestamp: float = 0.0,
-                shard_id: int = 0) -> Block:
-    """Construct a block, computing the transaction Merkle root."""
-    merkle_root = MerkleTree([tx.digest for tx in transactions]).root
+                shard_id: int = 0, merkle_root: Optional[str] = None) -> Block:
+    """Construct a block, computing the transaction Merkle root.
+
+    Pass ``merkle_root`` when the root over ``transactions`` is already known
+    (e.g. re-chaining a block agreed by consensus) to skip rebuilding the
+    tree — the single most frequent redundant hash in the commit hot path.
+    """
+    if merkle_root is None:
+        merkle_root = merkle_root_of(transactions)
     header = BlockHeader(
         height=height,
         prev_hash=prev_hash,

@@ -9,13 +9,15 @@ during reconfiguration) and simple usage statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, NamedTuple, Optional, Tuple
 
 
-@dataclass(frozen=True)
-class VersionedValue:
-    """A state value together with its version number."""
+class VersionedValue(NamedTuple):
+    """A state value together with its version number.
+
+    A ``NamedTuple`` rather than a dataclass: one is constructed per write
+    and the chaincode write path is the hottest loop in block execution.
+    """
 
     value: Any
     version: int
@@ -30,6 +32,12 @@ class StateStore:
         self.reads = 0
         self.writes = 0
         self.deletes = 0
+        #: Lazily cached sum of per-entry serialised sizes (sans the fixed
+        #: per-entry overhead).  Mutations only flip the dirty flag — a
+        #: single attribute store — so the write hot path pays nothing;
+        #: :meth:`size_bytes` rescans at most once per batch of mutations.
+        self._raw_size = 0
+        self._size_dirty = False
 
     # ------------------------------------------------------------------ basic
     def get(self, key: str, default: Any = None) -> Any:
@@ -49,12 +57,16 @@ class StateStore:
         current = self._data.get(key)
         version = (current.version + 1) if current is not None else 1
         self._data[key] = VersionedValue(value=value, version=version)
+        self._size_dirty = True
         return version
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; returns True if it existed."""
         self.deletes += 1
-        return self._data.pop(key, None) is not None
+        existed = self._data.pop(key, None) is not None
+        if existed:
+            self._size_dirty = True
+        return existed
 
     def exists(self, key: str) -> bool:
         return key in self._data
@@ -81,10 +93,18 @@ class StateStore:
     def restore(self, snapshot: Dict[str, VersionedValue]) -> None:
         """Replace the state with a snapshot (new member joining a committee)."""
         self._data = dict(snapshot)
+        self._size_dirty = True
 
     def size_bytes(self, per_entry_overhead: int = 64) -> int:
-        """Rough serialised size, used to model state-transfer duration."""
-        total = 0
-        for key, entry in self._data.items():
-            total += len(key) + len(str(entry.value)) + per_entry_overhead
-        return total
+        """Rough serialised size, used to model state-transfer duration.
+
+        Cached with dirty-tracking: repeated reads between mutations are
+        O(1); a rescan happens at most once per batch of writes instead of
+        on every call.
+        """
+        if self._size_dirty:
+            self._raw_size = sum(
+                len(key) + len(str(entry.value)) for key, entry in self._data.items()
+            )
+            self._size_dirty = False
+        return self._raw_size + len(self._data) * per_entry_overhead

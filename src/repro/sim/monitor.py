@@ -4,12 +4,23 @@ The experiment harness measures throughput (committed transactions per
 second of simulated time), latency distributions, abort rates, view-change
 counts and stale-block rates.  :class:`Monitor` is a small container of named
 counters and time series shared by the components of one simulation.
+
+Two storage modes are supported:
+
+* **unbounded** (the default) — every sample is retained, all statistics are
+  exact; right for the paper-figure experiments, whose runs are short.
+* **bounded** (``max_samples=N``) — series keep running count/sum plus a
+  fixed-size reservoir for percentiles, and throughput trackers accumulate
+  into coarse time buckets.  Memory is O(N) per metric regardless of run
+  length (the 1M-transaction benchmark runs this way); means and totals stay
+  exact, percentiles and rates become reservoir/bucket approximations.
 """
 
 from __future__ import annotations
 
+import random
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
@@ -24,15 +35,48 @@ class Counter:
         self.value += amount
 
 
-@dataclass
 class TimeSeries:
-    """A named series of (time, value) samples."""
+    """A named series of (time, value) samples.
 
-    name: str
-    samples: List[Tuple[float, float]] = field(default_factory=list)
+    With ``max_samples=None`` every sample is kept and all statistics are
+    exact.  With a bound, ``count``/``total``/``mean`` remain exact (running
+    aggregates) while ``samples`` holds a uniform reservoir (Vitter's
+    algorithm R, deterministically seeded by the series name) used for
+    percentiles and rate estimates.
+    """
+
+    def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self.max_samples = max_samples
+        self.samples: List[Tuple[float, float]] = []
+        self._count = 0
+        self._sum = 0.0
+        self._rng = random.Random(name) if max_samples is not None else None
 
     def record(self, time: float, value: float) -> None:
-        self.samples.append((time, value))
+        self._count += 1
+        self._sum += value
+        if self.max_samples is None or len(self.samples) < self.max_samples:
+            self.samples.append((time, value))
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self.samples[slot] = (time, value)
+
+    # ------------------------------------------------------------- aggregates
+    def count(self) -> int:
+        """Number of samples recorded (exact, even in bounded mode)."""
+        # ``samples`` may have been assigned directly (legacy idiom used to
+        # reuse bucketed_rate); honour whichever is larger.
+        return max(self._count, len(self.samples))
+
+    def total(self) -> float:
+        """Sum of recorded values (exact, even in bounded mode)."""
+        if self._count == 0 and self.samples:
+            return sum(value for _, value in self.samples)
+        return self._sum
 
     def values(self) -> List[float]:
         return [value for _, value in self.samples]
@@ -41,68 +85,118 @@ class TimeSeries:
         return [time for time, _ in self.samples]
 
     def mean(self) -> float:
+        if self._count:
+            return self._sum / self._count
         values = self.values()
         return statistics.fmean(values) if values else 0.0
 
     def percentile(self, pct: float) -> float:
+        """Percentile over retained samples (exact unbounded, reservoir-approx bounded)."""
         values = sorted(self.values())
         if not values:
             return 0.0
         index = min(len(values) - 1, int(round((pct / 100.0) * (len(values) - 1))))
         return values[index]
 
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
     def bucketed_rate(self, bucket_seconds: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
-        """Aggregate sample values into rate-per-second buckets of the given width."""
+        """Aggregate sample values into rate-per-second buckets of the given width.
+
+        In bounded mode the reservoir is scaled by ``count / len(samples)``
+        so the rates remain unbiased estimates of the full stream.
+        """
         if bucket_seconds <= 0:
             raise ValueError("bucket_seconds must be positive")
         if not self.samples and until is None:
             return []
         horizon = until if until is not None else max(t for t, _ in self.samples)
+        scale = 1.0
+        if self.max_samples is not None and self.samples and self._count > len(self.samples):
+            scale = self._count / len(self.samples)
         buckets: Dict[int, float] = {}
         for time, value in self.samples:
             buckets[int(time // bucket_seconds)] = buckets.get(int(time // bucket_seconds), 0.0) + value
         result = []
         for index in range(int(horizon // bucket_seconds) + 1):
             total = buckets.get(index, 0.0)
-            result.append((index * bucket_seconds, total / bucket_seconds))
+            result.append((index * bucket_seconds, total * scale / bucket_seconds))
         return result
 
 
 class ThroughputTracker:
-    """Tracks committed transactions and computes throughput over a window."""
+    """Tracks committed transactions and computes throughput over a window.
 
-    def __init__(self) -> None:
+    Unbounded mode keeps every ``(time, tx_count)`` commit record.  Bounded
+    mode (``max_samples=N``) accumulates commits into fixed one-second
+    buckets (evicting the oldest beyond N), so memory no longer grows with
+    the number of committed blocks; ``total_committed`` stays exact.
+    """
+
+    #: Bucket width (simulated seconds) used by the bounded mode.
+    RESOLUTION = 1.0
+
+    def __init__(self, max_samples: Optional[int] = None) -> None:
         self.commits: List[Tuple[float, int]] = []
         self.total_committed = 0
+        self.max_samples = max_samples
+        self._buckets: Dict[int, int] = {}
+        self._last_time: Optional[float] = None
 
     def record_commit(self, time: float, tx_count: int) -> None:
         """Record that ``tx_count`` transactions committed at simulated ``time``."""
-        self.commits.append((time, tx_count))
         self.total_committed += tx_count
+        if self.max_samples is None:
+            self.commits.append((time, tx_count))
+            return
+        self._last_time = time if self._last_time is None else max(self._last_time, time)
+        index = int(time // self.RESOLUTION)
+        self._buckets[index] = self._buckets.get(index, 0) + tx_count
+        while len(self._buckets) > self.max_samples:
+            # Simulated time is monotonic per tracker, so insertion order is
+            # ascending bucket index: FIFO eviction drops the oldest in O(1).
+            del self._buckets[next(iter(self._buckets))]
+
+    def _bucket_records(self) -> List[Tuple[float, int]]:
+        return [(index * self.RESOLUTION, count)
+                for index, count in sorted(self._buckets.items())]
 
     def throughput(self, start: float = 0.0, end: Optional[float] = None) -> float:
         """Committed transactions per second over ``[start, end]``."""
-        if not self.commits:
+        records = self.commits if self.max_samples is None else self._bucket_records()
+        if not records:
             return 0.0
         if end is None:
-            end = max(time for time, _ in self.commits)
+            end = (max(time for time, _ in self.commits)
+                   if self.max_samples is None else self._last_time)
         duration = end - start
         if duration <= 0:
             return 0.0
-        total = sum(count for time, count in self.commits if start <= time <= end)
+        total = sum(count for time, count in records if start <= time <= end)
         return total / duration
 
     def over_time(self, bucket_seconds: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
         """Throughput time series in buckets of ``bucket_seconds``."""
+        records = self.commits if self.max_samples is None else self._bucket_records()
         series = TimeSeries("commits")
-        series.samples = [(time, float(count)) for time, count in self.commits]
+        series.samples = [(time, float(count)) for time, count in records]
         return series.bucketed_rate(bucket_seconds, until=until)
 
 
 class Monitor:
-    """A collection of named counters, time series and throughput trackers."""
+    """A collection of named counters, time series and throughput trackers.
 
-    def __init__(self) -> None:
+    ``max_samples`` switches every series and tracker created by this
+    monitor to bounded storage (see the module docstring); the default keeps
+    the seed's exact, keep-everything behaviour.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None) -> None:
+        self.max_samples = max_samples
         self._counters: Dict[str, Counter] = {}
         self._series: Dict[str, TimeSeries] = {}
         self._throughput: Dict[str, ThroughputTracker] = {}
@@ -114,12 +208,12 @@ class Monitor:
 
     def series(self, name: str) -> TimeSeries:
         if name not in self._series:
-            self._series[name] = TimeSeries(name)
+            self._series[name] = TimeSeries(name, max_samples=self.max_samples)
         return self._series[name]
 
     def throughput(self, name: str = "default") -> ThroughputTracker:
         if name not in self._throughput:
-            self._throughput[name] = ThroughputTracker()
+            self._throughput[name] = ThroughputTracker(max_samples=self.max_samples)
         return self._throughput[name]
 
     def counter_value(self, name: str) -> float:
@@ -132,7 +226,7 @@ class Monitor:
             result[f"counter.{name}"] = counter.value
         for name, series in self._series.items():
             result[f"series.{name}.mean"] = series.mean()
-            result[f"series.{name}.count"] = float(len(series.samples))
+            result[f"series.{name}.count"] = float(series.count())
         for name, tracker in self._throughput.items():
             result[f"throughput.{name}.total"] = float(tracker.total_committed)
         return result

@@ -66,6 +66,10 @@ class LogAttestation:
 class _LogState:
     entries: Dict[int, str] = field(default_factory=dict)
     highest: int = -1
+    #: Positions below this have been truncated at a stable checkpoint; the
+    #: enclave refuses to (re-)attest them, so forgetting their digests does
+    #: not weaken the anti-equivocation guarantee.
+    truncated_below: int = 0
 
 
 class AttestedAppendOnlyLog(Enclave):
@@ -99,6 +103,12 @@ class AttestedAppendOnlyLog(Enclave):
             )
         digest = digest_of(message)
         log = self._logs.setdefault(log_name, _LogState())
+        if position < log.truncated_below:
+            self.rejected_appends += 1
+            raise EnclaveError(
+                f"position {position} of log {log_name!r} is below the "
+                f"truncation floor {log.truncated_below}"
+            )
         existing = log.entries.get(position)
         if existing is not None and existing != digest:
             self.rejected_appends += 1
@@ -130,11 +140,32 @@ class AttestedAppendOnlyLog(Enclave):
         log = self._logs.get(log_name)
         return log.highest if log is not None else -1
 
+    def truncate_below(self, position: int) -> int:
+        """Forget entries below ``position`` in every log (checkpoint truncation).
+
+        The paper's A2M logs are truncated once a stable checkpoint covers a
+        prefix: the digests are no longer needed for verification, and the
+        enclave permanently refuses appends below the floor so truncation
+        cannot be abused to re-bind an old slot.  Returns the number of
+        entries dropped.
+        """
+        dropped = 0
+        for log in self._logs.values():
+            if position <= log.truncated_below:
+                continue
+            stale = [pos for pos in log.entries if pos < position]
+            for pos in stale:
+                del log.entries[pos]
+            dropped += len(stale)
+            log.truncated_below = position
+        return dropped
+
     # ---------------------------------------------------------------- sealing
     def seal_logs(self) -> SealedBlob:
         """Periodically persist the log heads (paper: 'AHL periodically seals the logs')."""
         snapshot = {
-            name: {"entries": dict(state.entries), "highest": state.highest}
+            name: {"entries": dict(state.entries), "highest": state.highest,
+                   "truncated_below": state.truncated_below}
             for name, state in self._logs.items()
         }
         return self.seal(snapshot)
@@ -143,7 +174,8 @@ class AttestedAppendOnlyLog(Enclave):
         """Restore log heads from sealed storage (possibly stale — rollback attack)."""
         snapshot = self.unseal(blob)
         self._logs = {
-            name: _LogState(entries=dict(data["entries"]), highest=data["highest"])
+            name: _LogState(entries=dict(data["entries"]), highest=data["highest"],
+                            truncated_below=data.get("truncated_below", 0))
             for name, data in snapshot.items()
         }
 
