@@ -1,0 +1,46 @@
+"""Contended Smallbank under the ``abort`` vs. ``wait`` lock policies.
+
+A Zipf-skewed Smallbank workload hammers a handful of hot accounts, so
+cross-shard ``sendPayment`` transactions collide on their 2PL locks.  Under
+the seed-faithful ``abort`` policy every collision costs a PrepareNotOK and
+the transaction aborts; under ``wait`` (FIFO queues + timeout aborts +
+deadlock detection) most collisions become queueing delay instead.
+
+Run with::
+
+    PYTHONPATH=src python examples/contended_smallbank.py
+"""
+
+from repro.core import OpenLoopDriver, ShardedBlockchain, ShardedSystemConfig
+
+
+def run_policy(policy: str) -> None:
+    system = ShardedBlockchain(ShardedSystemConfig(
+        num_shards=4,
+        committee_size=4,
+        num_keys=300,              # small account table -> hot keys
+        zipf_coefficient=0.85,     # heavy skew -> contention
+        conflict_policy=policy,    # "abort" (seed default) or "wait"
+        wait_timeout=15.0,         # queued prepares abort after 15s
+        seed=7,
+    ))
+    driver = OpenLoopDriver(system, rate_tps=200.0, max_transactions=1000,
+                            batch_size=8)
+    stats = driver.run_to_completion(drain_timeout=60.0)
+    line = (f"{policy:>6}: {stats.committed:4d} committed / {stats.aborted:4d} aborted "
+            f"(abort rate {stats.abort_rate:.1%}), mean latency {stats.mean_latency:.2f}s")
+    if system.admission is not None:
+        line += (f", {system.admission.wait_timeouts} wait timeouts"
+                 f", {system.admission.deadlocks_detected} deadlocks")
+    print(line)
+
+
+def main() -> None:
+    print("1000 Zipf(0.85) sendPayments over 300 accounts, 4 shards, 200 tps:")
+    for policy in ("abort", "wait"):
+        run_policy(policy)
+    print("\nSame arrival stream, same seed - only the lock scheduling differs.")
+
+
+if __name__ == "__main__":
+    main()

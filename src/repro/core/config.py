@@ -34,6 +34,28 @@ class ShardedSystemConfig:
     #: When False, completed transactions' coordinator records are discarded
     #: immediately, bounding memory on long (100k+ transaction) runs.
     retain_tx_records: bool = True
+    #: How conflicting cross-shard lock acquisitions are scheduled:
+    #: "abort" (seed-faithful first-conflict abort), "wait" (FIFO queues with
+    #: timeout aborts and waits-for-graph deadlock detection) or "wound-wait"
+    #: (older transactions wound younger lock holders; deadlock-free).
+    conflict_policy: str = "abort"
+    #: How long a queued PrepareTx may wait for its locks before the shard
+    #: votes PrepareNotOK ("wait timeout").  Only used by the queueing
+    #: policies.
+    wait_timeout: float = 5.0
+    #: Detect waits-for cycles under the "wait" policy and abort the
+    #: requester that would close the cycle (instead of waiting for the
+    #: timeout to break it).
+    deadlock_detection: bool = True
+    #: When set, transactions whose prepare votes are still missing after
+    #: this many seconds get their prepares re-driven (recovering from
+    #: dropped votes / lost prepares).  None — the seed default — disables
+    #: the deadline machinery entirely.
+    prepare_timeout: Optional[float] = None
+    #: Fault-injection scenario (a :class:`repro.txn.faults.FaultScenario`)
+    #: consulted at the coordination protocol's decision points.  None — the
+    #: default — keeps the message flow bit-identical to the seed.
+    fault_scenario: Any = None
     #: When set, every monitor series/tracker switches to bounded storage
     #: (running count/sum + N-sample reservoir) instead of keeping one entry
     #: per commit — pair with retain_tx_records=False and a "headers" ledger
@@ -48,6 +70,13 @@ class ShardedSystemConfig:
             raise ConfigurationError("committee_size must be at least 1")
         if self.benchmark not in ("smallbank", "kvstore"):
             raise ConfigurationError("benchmark must be 'smallbank' or 'kvstore'")
+        if self.conflict_policy not in ("abort", "wait", "wound-wait"):
+            raise ConfigurationError(
+                "conflict_policy must be 'abort', 'wait' or 'wound-wait'")
+        if self.wait_timeout <= 0:
+            raise ConfigurationError("wait_timeout must be positive")
+        if self.prepare_timeout is not None and self.prepare_timeout <= 0:
+            raise ConfigurationError("prepare_timeout must be positive when set")
 
     @property
     def total_nodes(self) -> int:

@@ -17,8 +17,8 @@ transaction stream and identical commit/abort counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.core.system import ShardedBlockchain
 from repro.errors import ConfigurationError
@@ -41,6 +41,10 @@ class DriverStats:
     max_in_flight: int = 0
     latency_sum: float = 0.0
     latency_count: int = 0
+    #: Abort counts bucketed by cause (lock-conflict, wait-timeout, deadlock,
+    #: wounded, insufficient-funds, other) — a handful of keys, so the
+    #: breakdown stays O(1) in memory like the rest of the stats.
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -143,6 +147,23 @@ class OpenLoopDriver:
             self.system.submit_transaction(tx, on_complete=self._on_complete)
         self.system.sim.schedule(self.batch_size / self.rate_tps, self._tick)
 
+    @staticmethod
+    def _abort_bucket(reason: Optional[str]) -> str:
+        """Classify an abort reason into a small fixed set of buckets."""
+        if reason is None:
+            return "other"
+        if "locked by" in reason:
+            return "lock-conflict"
+        if "wait timed out" in reason:
+            return "wait-timeout"
+        if "deadlock" in reason:
+            return "deadlock"
+        if "wounded" in reason:
+            return "wounded"
+        if "insufficient funds" in reason:
+            return "insufficient-funds"
+        return "other"
+
     def _on_complete(self, record: DistributedTxRecord) -> None:
         stats = self.stats
         stats.in_flight -= 1
@@ -150,6 +171,8 @@ class OpenLoopDriver:
             stats.committed += 1
         else:
             stats.aborted += 1
+            bucket = self._abort_bucket(record.abort_reason)
+            stats.abort_reasons[bucket] = stats.abort_reasons.get(bucket, 0) + 1
         latency = record.latency
         if latency is not None:
             stats.latency_sum += latency

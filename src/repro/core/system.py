@@ -14,12 +14,38 @@
 Clients interact through :meth:`submit_transaction`, which accepts ordinary
 benchmark transactions (e.g. Smallbank ``sendPayment``) and hides the
 sharding — the usability extension discussed in Section 6.4.
+
+Lock scheduling and fault injection
+-----------------------------------
+The coordination layer is policy- and fault-pluggable:
+
+* ``ShardedSystemConfig.conflict_policy`` selects how conflicting cross-shard
+  lock acquisitions are scheduled.  ``"abort"`` (the default) reproduces the
+  seed behaviour bit-for-bit: prepares are sent immediately and a conflicting
+  prepare fails at the shard, aborting the transaction.  ``"wait"`` and
+  ``"wound-wait"`` route prepares through a coordinator-side admission mirror
+  of the shards' lock tables (:class:`repro.txn.locks.LockManager`), so
+  conflicting prepares queue (FIFO + timeout + deadlock detection) or are
+  scheduled by transaction age (wound-wait) instead of aborting on first
+  conflict.
+* ``ShardedSystemConfig.fault_scenario`` attaches a
+  :class:`repro.txn.faults.FaultScenario` that is consulted at each protocol
+  step (prepare relay, vote relay, decision, ack) to inject shard stalls,
+  vote drops, stale replays and coordinator crashes.  Paired with
+  ``prepare_timeout`` (deadline-driven prepare re-drives) and the
+  coordinator's crash/recovery support, every injected fault is recoverable.
+
+With the default configuration (``abort`` policy, no faults, no prepare
+timeout) none of this machinery schedules events or draws randomness — the
+message flow is identical to the seed implementation, which
+``tests/test_txn_differential.py`` verifies outcome-for-outcome against an
+inline seed-faithful copy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.consensus.base import CommitEvent
 from repro.consensus.cluster import ConsensusCluster
@@ -27,6 +53,7 @@ from repro.core.config import ShardedSystemConfig
 from repro.core.splitters import splitter_for
 from repro.errors import ConfigurationError
 from repro.ledger.chaincode import ChaincodeRegistry
+from repro.ledger.state import StateStore
 from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
 from repro.sharding.assignment import assign_committees
 from repro.sharding.committee import CommitteeAssignment
@@ -36,9 +63,11 @@ from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 from repro.txn.coordinator import (
     DistributedTxOutcome,
+    DistributedTxPhase,
     DistributedTxRecord,
     TwoPhaseCommitCoordinator,
 )
+from repro.txn.locks import DeadlockDetected, LockManager
 from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeChaincode
 from repro.workloads.generator import shard_of_key
 from repro.workloads.kvstore import KVStoreWorkload
@@ -63,6 +92,138 @@ class ShardedRunResult:
     reference_committee_transactions: int = 0
 
 
+@dataclass
+class _PendingPrepare:
+    """A PrepareTx parked in the admission layer waiting for its locks."""
+
+    record: DistributedTxRecord
+    shard_id: int
+    prepare_tx: Transaction
+    keys_outstanding: Set[str]
+    extra_delay: float = 0.0
+
+
+class _LockAdmission:
+    """Coordinator-side admission mirror of the shards' lock tables.
+
+    Under the ``wait`` / ``wound-wait`` policies, a cross-shard PrepareTx is
+    only relayed to its shard once the admission :class:`LockManager` grants
+    all the locks the prepare will take there.  The mirror uses namespaced
+    keys (``s<shard>/<key>``) in one shared manager so waits-for cycles that
+    span shards are visible to the deadlock detector.  Locks are released as
+    each shard acknowledges the transaction's commit/abort decision (the
+    moment the on-chain locks are gone).
+    """
+
+    def __init__(self, system: "ShardedBlockchain") -> None:
+        self.system = system
+        self.manager = LockManager(StateStore(),
+                                   policy=system.config.conflict_policy,
+                                   on_grant=self._on_grant,
+                                   detect_deadlocks=system.config.deadlock_detection)
+        self._pending: Dict[Tuple[str, int], _PendingPrepare] = {}
+        self._keys: Dict[str, Dict[int, List[str]]] = {}   # tx -> shard -> ns keys
+        self.wounded_transactions = 0
+        self.deadlocks_detected = 0
+        self.wait_timeouts = 0
+
+    @staticmethod
+    def _nskey(shard_id: int, key: str) -> str:
+        return f"s{shard_id}/{key}"
+
+    @staticmethod
+    def _priority(record: DistributedTxRecord) -> Tuple[float, int]:
+        """Wound-wait age priority: submission time, begin order as tie-break.
+
+        Using *submission* age (rather than admission-request order) is what
+        makes wound-wait meaningful here: the coordination layer can reorder
+        transactions across consensus blocks, so an older transaction can
+        find its key held by a younger one — and wounds it.
+        """
+        return (record.started_at, record.begin_seq)
+
+    # ----------------------------------------------------------------- request
+    def request(self, record: DistributedTxRecord, shard_id: int,
+                prepare_tx: Transaction, extra_delay: float = 0.0) -> str:
+        """Try to admit a shard's PrepareTx: "granted", "waiting" or "deadlock".
+
+        When waiting, the prepare is parked and dispatched by the grant
+        callback once the last lock is handed over; a timeout abort is
+        scheduled under the configured ``wait_timeout``.
+        """
+        tx_id = record.tx_id
+        pending_key = (tx_id, shard_id)
+        if pending_key in self._pending:
+            return "waiting"
+        ns_keys = [self._nskey(shard_id, key) for key in prepare_tx.keys]
+        self._keys.setdefault(tx_id, {})[shard_id] = ns_keys
+        now = self.system.sim.now
+        priority = self._priority(record)
+        outstanding: Set[str] = set()
+        wounded: List[str] = []
+        try:
+            for key in ns_keys:
+                result = self.manager.acquire(key, tx_id, now=now,
+                                              timestamp=priority)
+                wounded.extend(result.wounded)
+                if not result.granted:
+                    outstanding.add(key)
+        except DeadlockDetected:
+            self.deadlocks_detected += 1
+            self.manager.cancel_wait(tx_id)
+            self._wound_victims(wounded)
+            return "deadlock"
+        self._wound_victims(wounded)
+        if not outstanding:
+            return "granted"
+        self._pending[pending_key] = _PendingPrepare(
+            record=record, shard_id=shard_id, prepare_tx=prepare_tx,
+            keys_outstanding=outstanding, extra_delay=extra_delay,
+        )
+        self.system.sim.schedule(self.system.config.wait_timeout,
+                                 self._check_timeout, tx_id, shard_id)
+        return "waiting"
+
+    def _wound_victims(self, wounded: List[str]) -> None:
+        for victim in wounded:
+            self.wounded_transactions += 1
+            self.system._wound(victim)
+
+    def _on_grant(self, tx_id: str, key: str) -> None:
+        for pending_key, pending in list(self._pending.items()):
+            if pending_key[0] != tx_id:
+                continue
+            pending.keys_outstanding.discard(key)
+            if not pending.keys_outstanding:
+                del self._pending[pending_key]
+                self.system._dispatch_admitted_prepare(pending)
+
+    def _check_timeout(self, tx_id: str, shard_id: int) -> None:
+        pending = self._pending.pop((tx_id, shard_id), None)
+        if pending is None:
+            return
+        self.wait_timeouts += 1
+        for key in pending.keys_outstanding:
+            self.manager.cancel_wait(tx_id, key)
+        self.system._handle_prepare_outcome(
+            pending.record, shard_id, False,
+            reason=f"lock wait timed out after {self.system.config.wait_timeout}s",
+        )
+
+    # ----------------------------------------------------------------- release
+    def release_shard(self, tx_id: str, shard_id: int) -> None:
+        """The shard executed the decision: hand its locks to the next waiters."""
+        for key in self._keys.get(tx_id, {}).get(shard_id, ()):
+            self.manager.release(key, tx_id)
+
+    def finish(self, tx_id: str) -> None:
+        """The transaction is done everywhere: drop every trace of it."""
+        for pending_key in [pk for pk in self._pending if pk[0] == tx_id]:
+            del self._pending[pending_key]
+        self.manager.finish(tx_id)
+        self._keys.pop(tx_id, None)
+
+
 class ShardedBlockchain:
     """A sharded permissioned blockchain deployment inside one simulation."""
 
@@ -72,13 +233,24 @@ class ShardedBlockchain:
         self.network = Network(self.sim, config.latency_model or LanLatencyModel())
         self.monitor = Monitor(max_samples=config.max_series_samples)
         self.coordinator = TwoPhaseCommitCoordinator(
-            config.use_reference_committee, retain_records=config.retain_tx_records)
+            config.use_reference_committee, retain_records=config.retain_tx_records,
+            prepare_timeout=config.prepare_timeout)
         self.splitter = splitter_for(config.benchmark)
         self._completion_callbacks: Dict[str, Callable[[DistributedTxRecord], None]] = {}
         self._receipt_watchers: Dict[str, Callable[[TransactionReceipt], None]] = {}
         self._single_shard_started: Dict[str, float] = {}
         self.single_shard_committed = 0
         self.single_shard_aborted = 0
+        self._fault = config.fault_scenario
+        if self._fault is not None:
+            self._fault.bind(self)
+        self.admission: Optional[_LockAdmission] = (
+            _LockAdmission(self) if config.conflict_policy != "abort" else None)
+        self._decisions_sent: Dict[str, Set[int]] = {}
+        #: Relay per-shard prepare/decision submissions as one cohort event
+        #: (order-identical to the seed's one-event-per-shard scheduling; the
+        #: differential test flips this off to prove it).
+        self._cohort_relay = True
 
         self.assignment = self._form_committees()
         self.shards: Dict[int, ConsensusCluster] = {}
@@ -194,10 +366,14 @@ class ShardedBlockchain:
             self._completion_callbacks[tx.tx_id] = on_complete
         if not record.is_cross_shard:
             self._submit_single_shard(record)
-        elif self.config.use_reference_committee:
+            return record
+        if (self._fault is not None and not self.coordinator.crashed
+                and self._fault.crash_coordinator(record, "prepare")):
+            self._crash_coordinator()
+        if self.config.use_reference_committee:
             self._submit_begin_tx(record)
         else:
-            self.coordinator.mark_begin_executed(tx.tx_id)
+            self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
             self._send_prepares(record)
         return record
 
@@ -205,14 +381,15 @@ class ShardedBlockchain:
     def _submit_single_shard(self, record: DistributedTxRecord) -> None:
         shard_id = record.shards[0]
         tx = record.transaction
-        self.coordinator.mark_begin_executed(tx.tx_id)
+        self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
 
         def on_receipt(receipt: TransactionReceipt) -> None:
             ok = receipt.status is TxStatus.COMMITTED
             self.coordinator.record_prepare_vote(tx.tx_id, shard_id, ok, now=self.sim.now,
                                                  reason=receipt.error)
             self.coordinator.record_commit_ack(tx.tx_id, shard_id, now=self.sim.now)
-            self._finish(record)
+            if record.phase is DistributedTxPhase.DONE:
+                self._finish(record)
 
         self._watch(tx, on_receipt)
         self._relay(lambda: self.shards[shard_id].submit([tx]))
@@ -220,6 +397,8 @@ class ShardedBlockchain:
     # --------------------------------------------------------- cross shard tx
     def _submit_begin_tx(self, record: DistributedTxRecord) -> None:
         assert self.reference is not None
+        if self.coordinator.crashed:
+            return  # recovery restarts records still in BEGINNING
         chaincode = ReferenceCommitteeChaincode()
         begin = chaincode.new_transaction(
             "beginTx", {"tx_id": record.tx_id, "num_committees": len(record.shards)},
@@ -227,30 +406,116 @@ class ShardedBlockchain:
         )
 
         def on_receipt(receipt: TransactionReceipt) -> None:
-            self.coordinator.mark_begin_executed(record.tx_id)
+            self.coordinator.mark_begin_executed(record.tx_id, now=self.sim.now)
             self._send_prepares(record)
 
         self._watch(begin, on_receipt)
         self._relay(lambda: self.reference.submit([begin]))
 
-    def _send_prepares(self, record: DistributedTxRecord) -> None:
+    def _send_prepares(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        """Relay the per-shard PrepareTx cohort (admission- and fault-aware)."""
+        if self.coordinator.crashed:
+            return  # recovery re-drives undecided transactions
         prepares = self.splitter.prepare_transactions(record.transaction, self.shard_of_key)
+        if only_shards is not None:
+            prepares = {shard: tx for shard, tx in prepares.items()
+                        if shard in only_shards}
+        cohorts: Dict[float, List[Tuple[int, Transaction]]] = {}
         for shard_id, prepare_tx in prepares.items():
+            extra_delay = 0.0
+            if self._fault is not None:
+                if self._fault.drop_prepare(record, shard_id):
+                    continue  # the prepare-deadline re-drive recovers this
+                extra_delay = self._fault.prepare_delay(record, shard_id)
+            if self.admission is not None:
+                status = self.admission.request(record, shard_id, prepare_tx,
+                                                extra_delay)
+                if status == "waiting":
+                    continue
+                if status == "deadlock":
+                    self._handle_prepare_outcome(
+                        record, shard_id, False,
+                        reason="deadlock detected in the waits-for graph")
+                    continue
+            cohorts.setdefault(extra_delay, []).append((shard_id, prepare_tx))
+        for extra_delay in sorted(cohorts):
+            self._relay_prepare_group(record, cohorts[extra_delay], extra_delay)
+        if self.config.prepare_timeout is not None:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, record.tx_id)
+
+    def _relay_cohort(self, group: List[Tuple[int, Transaction]],
+                      extra_delay: float = 0.0) -> None:
+        """Relay per-shard submissions after the client-relay delay.
+
+        As one scheduler event for the whole cohort by default — consecutive
+        same-time events fire back to back anyway, so this is order-identical
+        to the seed's one-event-per-shard scheduling (the differential test
+        flips ``_cohort_relay`` off to prove it)."""
+        if self._cohort_relay:
+            def submit_group(batch=tuple(group)) -> None:
+                for shard_id, tx in batch:
+                    self.shards[shard_id].submit([tx])
+            self.sim.schedule(self.config.relay_delay + extra_delay, submit_group)
+        else:
+            for shard_id, tx in group:
+                self.sim.schedule(self.config.relay_delay + extra_delay,
+                                  lambda sid=shard_id, stx=tx:
+                                  self.shards[sid].submit([stx]))
+
+    def _relay_prepare_group(self, record: DistributedTxRecord,
+                             group: List[Tuple[int, Transaction]],
+                             extra_delay: float = 0.0) -> None:
+        for shard_id, prepare_tx in group:
             self._watch(prepare_tx, self._make_prepare_watcher(record, shard_id))
-            self._relay(lambda sid=shard_id, ptx=prepare_tx: self.shards[sid].submit([ptx]))
+        self._relay_cohort(group, extra_delay)
+
+    def _dispatch_admitted_prepare(self, pending: _PendingPrepare) -> None:
+        """A parked PrepareTx got its last lock: relay it now."""
+        record = pending.record
+        if record.outcome is not DistributedTxOutcome.PENDING:
+            return  # decided (e.g. wounded or timed out elsewhere) meanwhile
+        self._relay_prepare_group(record, [(pending.shard_id, pending.prepare_tx)],
+                                  pending.extra_delay)
 
     def _make_prepare_watcher(self, record: DistributedTxRecord, shard_id: int):
         def on_receipt(receipt: TransactionReceipt) -> None:
             ok = receipt.status is TxStatus.COMMITTED
-            if self.config.use_reference_committee:
-                self._submit_vote(record, shard_id, ok, receipt.error)
-            else:
-                before = record.outcome
-                self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
-                                                     now=self.sim.now, reason=receipt.error)
-                if record.outcome is not DistributedTxOutcome.PENDING and before is DistributedTxOutcome.PENDING:
-                    self._send_decision(record)
+            if self._fault is not None and self._fault.drop_vote(record, shard_id, ok):
+                return  # vote lost; the prepare-deadline re-drive recovers
+            self._handle_prepare_outcome(record, shard_id, ok, receipt.error)
         return on_receipt
+
+    def _handle_prepare_outcome(self, record: DistributedTxRecord, shard_id: int,
+                                ok: bool, reason: Optional[str]) -> None:
+        """A shard's prepare outcome is known: relay the vote (step 1b)."""
+        if self.config.use_reference_committee:
+            self._submit_vote(record, shard_id, ok, reason)
+        else:
+            before = record.outcome
+            self._record_vote(record, shard_id, ok, reason)
+            if record.outcome is not DistributedTxOutcome.PENDING and before is DistributedTxOutcome.PENDING:
+                self._send_decision(record)
+
+    def _record_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
+                                             now=self.sim.now, reason=reason)
+        if self._fault is not None:
+            duplicates = self._fault.duplicate_votes(record, shard_id, ok)
+            for index in range(duplicates):
+                self.sim.schedule(
+                    self._fault.stale_delay() * (index + 1),
+                    self._replay_vote, record.tx_id, shard_id, ok, reason)
+
+    def _replay_vote(self, tx_id: str, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        """A stale duplicate vote arrives (idempotent-or-rejected at the coordinator)."""
+        if self.coordinator.retain_records and tx_id not in self.coordinator.records:
+            return
+        self.coordinator.record_prepare_vote(tx_id, shard_id, ok,
+                                             now=self.sim.now, reason=reason)
 
     def _submit_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
                      reason: Optional[str]) -> None:
@@ -264,8 +529,7 @@ class ShardedBlockchain:
 
         def on_receipt(receipt: TransactionReceipt) -> None:
             before = record.outcome
-            self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
-                                                 now=self.sim.now, reason=reason)
+            self._record_vote(record, shard_id, ok, reason)
             decided_state = None
             if receipt.result and isinstance(receipt.result, dict):
                 decided_state = receipt.result.get("state")
@@ -280,22 +544,138 @@ class ShardedBlockchain:
         self._watch(vote, on_receipt)
         self._relay(lambda: self.reference.submit([vote]))
 
-    def _send_decision(self, record: DistributedTxRecord) -> None:
+    def _send_decision(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        if self.coordinator.crashed:
+            return  # recovery re-drives decided-but-unsent decisions
+        if (self._fault is not None
+                and self._fault.crash_coordinator(record, "decide")):
+            self._crash_coordinator()
+            return  # decided but unsent: re-driven at recovery
         committed = record.outcome is DistributedTxOutcome.COMMITTED
         if committed:
             per_shard = self.splitter.commit_transactions(record.transaction, self.shard_of_key)
         else:
             per_shard = self.splitter.abort_transactions(record.transaction, self.shard_of_key)
+        if only_shards is not None:
+            per_shard = {shard: tx for shard, tx in per_shard.items()
+                         if shard in only_shards}
+        cohorts: Dict[float, List[Tuple[int, Transaction]]] = {}
+        sent = self._decisions_sent.setdefault(record.tx_id, set())
         for shard_id, decision_tx in per_shard.items():
-            def on_receipt(receipt: TransactionReceipt, sid=shard_id) -> None:
-                self.coordinator.record_commit_ack(record.tx_id, sid, now=self.sim.now)
-                if record.all_acks_in:
-                    self._finish(record)
-            self._watch(decision_tx, on_receipt)
-            self._relay(lambda sid=shard_id, dtx=decision_tx: self.shards[sid].submit([dtx]))
+            self._watch(decision_tx, self._make_decision_watcher(record, shard_id))
+            sent.add(shard_id)
+            extra_delay = (self._fault.decision_delay(record, shard_id)
+                           if self._fault is not None else 0.0)
+            cohorts.setdefault(extra_delay, []).append((shard_id, decision_tx))
+        for extra_delay in sorted(cohorts):
+            self._relay_cohort(cohorts[extra_delay], extra_delay)
+
+    def _make_decision_watcher(self, record: DistributedTxRecord, shard_id: int):
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            self.coordinator.record_commit_ack(record.tx_id, shard_id, now=self.sim.now)
+            if self.admission is not None:
+                self.admission.release_shard(record.tx_id, shard_id)
+            if self._fault is not None:
+                duplicates = self._fault.duplicate_acks(record, shard_id)
+                for index in range(duplicates):
+                    self.sim.schedule(self._fault.stale_delay() * (index + 1),
+                                      self._replay_ack, record.tx_id, shard_id)
+            if record.all_acks_in:
+                self._finish(record)
+        return on_receipt
+
+    def _replay_ack(self, tx_id: str, shard_id: int) -> None:
+        """A stale duplicate commit ack arrives (a counted no-op)."""
+        if self.coordinator.retain_records and tx_id not in self.coordinator.records:
+            return
+        self.coordinator.record_commit_ack(tx_id, shard_id, now=self.sim.now)
+
+    # ------------------------------------------------- re-drives and recovery
+    def _check_prepare_deadline(self, tx_id: str) -> None:
+        """The prepare deadline passed: re-drive the shards with missing votes."""
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE):
+            return
+        if self.coordinator.crashed:
+            # Recovery will re-drive; check again afterwards.
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, tx_id)
+            return
+        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
+            delay = (record.prepare_deadline - self.sim.now
+                     if record.prepare_deadline is not None
+                     else self.config.prepare_timeout)
+            self.sim.schedule(max(delay, 1e-9), self._check_prepare_deadline, tx_id)
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.prepare_votes]
+        waiting = {pending_key[1] for pending_key in
+                   (self.admission._pending if self.admission is not None else {})
+                   if pending_key[0] == tx_id}
+        to_redrive = [shard for shard in missing if shard not in waiting]
+        if to_redrive:
+            self.coordinator.mark_redriven(record)
+            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+            self._send_prepares(record, only_shards=to_redrive)
+        else:
+            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, tx_id)
+
+    def _wound(self, victim_tx_id: str) -> None:
+        """Wound-wait: an older transaction aborts the younger lock holder."""
+        record = self.coordinator.records.get(victim_tx_id)
+        if record is None or record.outcome is not DistributedTxOutcome.PENDING:
+            return
+        # Abort through the normal vote path.  Prefer a participant shard
+        # that has not voted yet (an undecided record always has one) so the
+        # wound is a first vote, not a conflicting revote; the shard's own
+        # later OK vote is then rejected as stale.
+        shard_id = next((shard for shard in record.shards
+                         if shard not in record.prepare_votes),
+                        record.shards[0])
+        self._handle_prepare_outcome(record, shard_id, False,
+                                     reason="wounded by an older transaction")
+
+    def _crash_coordinator(self) -> None:
+        """The coordinator fails; recovery is scheduled per the fault scenario."""
+        if self.coordinator.crashed:
+            return  # one recovery is already scheduled
+        self.coordinator.crash()
+        delay = self._fault.recovery_delay() if self._fault is not None else 1.0
+        self.sim.schedule(delay, self._recover_coordinator)
+
+    def _recover_coordinator(self) -> None:
+        """Replay buffered votes/acks, then re-drive unfinished transactions."""
+        if not self.coordinator.crashed:
+            return
+        report = self.coordinator.recover(now=self.sim.now)
+        for record in report.completed:
+            self._finish(record)
+        for record in report.restart:
+            self.coordinator.mark_redriven(record)
+            if (record.phase is DistributedTxPhase.BEGINNING
+                    and self.config.use_reference_committee):
+                self._submit_begin_tx(record)
+                continue
+            missing = [shard for shard in record.shards
+                       if shard not in record.prepare_votes]
+            self._send_prepares(record, only_shards=missing or list(record.shards))
+        for record in report.redrive:
+            sent = self._decisions_sent.get(record.tx_id, set())
+            unsent = [shard for shard in record.shards
+                      if shard not in record.commit_acks and shard not in sent]
+            if unsent:
+                self.coordinator.mark_redriven(record)
+                self._send_decision(record, only_shards=unsent)
 
     # ------------------------------------------------------------- completion
     def _finish(self, record: DistributedTxRecord) -> None:
+        if self.admission is not None:
+            self.admission.finish(record.tx_id)
+        self._decisions_sent.pop(record.tx_id, None)
         callback = self._completion_callbacks.pop(record.tx_id, None)
         if callback is not None:
             callback(record)

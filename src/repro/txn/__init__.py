@@ -1,7 +1,12 @@
 """Distributed (cross-shard) transactions (Section 6).
 
 * :mod:`repro.txn.locks` — a 2PL lock manager over blockchain state (locks
-  are ordinary state tuples under ``"L_"`` keys, Section 6.3).
+  are ordinary state tuples under ``"L_"`` keys, Section 6.3) with pluggable
+  conflict policies (abort / wait / wound-wait) and a waits-for-graph
+  deadlock detector.
+* :mod:`repro.txn.faults` — deterministic fault-injection scenarios for the
+  coordination protocol (shard stalls, vote drops, stale replays,
+  coordinator crash/recovery).
 * :mod:`repro.txn.reference_committee` — the 2PC state machine run by the BFT
   reference committee (Figure 6), as a deterministic chaincode-style object.
 * :mod:`repro.txn.coordinator` — the lifecycle of one distributed transaction
@@ -15,7 +20,23 @@
 * :mod:`repro.txn.utxo` — the UTXO data model those baselines operate on.
 """
 
-from repro.txn.locks import LockManager, LockConflict
+from repro.txn.locks import (
+    AcquireResult,
+    AcquireStatus,
+    ConflictPolicy,
+    DeadlockDetected,
+    LockConflict,
+    LockManager,
+    WaitsForGraph,
+)
+from repro.txn.faults import (
+    ComposedScenario,
+    CoordinatorCrashScenario,
+    FaultScenario,
+    ShardStallScenario,
+    VoteDropScenario,
+    VoteReplayScenario,
+)
 from repro.txn.reference_committee import (
     CoordinatorState,
     ReferenceCommitteeStateMachine,
@@ -32,8 +53,19 @@ from repro.txn.omniledger import OmniLedgerClientProtocol, OmniLedgerShard
 from repro.txn.rapidchain import RapidChainProtocol, RapidChainShard
 
 __all__ = [
+    "AcquireResult",
+    "AcquireStatus",
+    "ComposedScenario",
+    "ConflictPolicy",
+    "CoordinatorCrashScenario",
+    "DeadlockDetected",
+    "FaultScenario",
     "LockManager",
     "LockConflict",
+    "ShardStallScenario",
+    "VoteDropScenario",
+    "VoteReplayScenario",
+    "WaitsForGraph",
     "CoordinatorState",
     "ReferenceCommitteeStateMachine",
     "ReferenceCommitteeChaincode",

@@ -16,6 +16,22 @@ pure bookkeeping — the actual message flow is driven by
 :class:`repro.core.system.ShardedBlockchain` (full simulation) or directly by
 unit tests.  It also supports the *trusted coordinator* mode (no reference
 committee), which is what the paper's "w/o R" configurations measure.
+
+Fault behaviour
+---------------
+Shard votes are **idempotent-or-rejected**: a repeated identical vote is a
+counted no-op, an ``ok`` revote after a ``not ok`` can never resurrect the
+transaction, and a ``not ok`` revote after an ``ok`` (an equivocating shard)
+aborts an undecided transaction — exactly what the replicated
+:class:`ReferenceCommitteeStateMachine` does, so the local bookkeeping and
+the on-chain state machine can never diverge.  The recorded first vote is
+never overwritten.
+
+The coordinator also models **crash/recovery** (Section 6.3's observation
+that the coordinator state lives on the blockchain): while crashed, incoming
+votes and acks are buffered (they are durable in the shards' ledgers, so a
+recovering coordinator re-reads them); :meth:`recover` replays the buffer and
+reports which decided-but-unacknowledged transactions must be re-driven.
 """
 
 from __future__ import annotations
@@ -25,7 +41,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import TransactionAbortedError
+from repro.errors import CoordinatorFailureError, TransactionAbortedError
 from repro.ledger.transaction import Transaction
 from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeStateMachine
 
@@ -64,6 +80,15 @@ class DistributedTxRecord:
     decided_at: Optional[float] = None
     completed_at: Optional[float] = None
     abort_reason: Optional[str] = None
+    #: Arrival sequence number assigned by the coordinator at begin() — the
+    #: tie-break on ``started_at`` for age-based (wound-wait) scheduling.
+    begin_seq: int = 0
+    #: Absolute deadline by which every prepare vote should have arrived
+    #: (set when prepares go out under a configured ``prepare_timeout``).
+    prepare_deadline: Optional[float] = None
+    #: How many times the scheduler re-drove this transaction's prepares or
+    #: decision (retries and crash recovery).
+    redrives: int = 0
 
     @property
     def is_cross_shard(self) -> bool:
@@ -100,6 +125,17 @@ class CoordinatorStats:
     latency_sum: float = 0.0
     latency_count: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: Repeated identical votes / acks observed (idempotent no-ops).
+    duplicate_votes: int = 0
+    duplicate_acks: int = 0
+    #: NotOK revotes from a shard that already voted OK (equivocation
+    #: attempts; stale OK-after-NotOK arrivals count as stale_messages).
+    equivocations: int = 0
+    #: Votes/acks that arrived for already-pruned transactions (stale).
+    stale_messages: int = 0
+    #: Coordinator crash/recovery cycles and transactions re-driven by them.
+    coordinator_crashes: int = 0
+    redriven_transactions: int = 0
 
     @property
     def abort_rate(self) -> float:
@@ -109,6 +145,23 @@ class CoordinatorStats:
     @property
     def mean_latency(self) -> float:
         return self.latency_sum / self.latency_count if self.latency_count else 0.0
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`TwoPhaseCommitCoordinator.recover` found to do.
+
+    ``completed`` lists transactions that finished while the coordinator was
+    down (their buffered acks completed them during replay); ``redrive``
+    lists decided transactions whose decision must be re-sent to shards with
+    missing acks; ``restart`` lists still-undecided transactions whose
+    prepares must be (re-)sent.
+    """
+
+    replayed: int = 0
+    completed: List[DistributedTxRecord] = field(default_factory=list)
+    redrive: List[DistributedTxRecord] = field(default_factory=list)
+    restart: List[DistributedTxRecord] = field(default_factory=list)
 
 
 class TwoPhaseCommitCoordinator:
@@ -127,15 +180,25 @@ class TwoPhaseCommitCoordinator:
         are unaffected.  Long open-loop runs use this to keep the
         coordinator's memory bounded by the in-flight window instead of the
         run length.
+    prepare_timeout:
+        When set, :meth:`mark_begin_executed` stamps each record with a
+        prepare deadline (``now + prepare_timeout``); the scheduler polls
+        :meth:`expired_prepares` to re-drive transactions whose votes went
+        missing.  ``None`` (the default) disables deadlines entirely — the
+        seed behaviour.
     """
 
     def __init__(self, use_reference_committee: bool = True,
-                 retain_records: bool = True) -> None:
+                 retain_records: bool = True,
+                 prepare_timeout: Optional[float] = None) -> None:
         self.use_reference_committee = use_reference_committee
         self.retain_records = retain_records
+        self.prepare_timeout = prepare_timeout
         self.reference = ReferenceCommitteeStateMachine()
         self.records: Dict[str, DistributedTxRecord] = {}
         self.stats = CoordinatorStats()
+        self.crashed = False
+        self._crash_buffer: List[tuple] = []
         self._counter = itertools.count()
 
     # ----------------------------------------------------------------- begin
@@ -149,6 +212,7 @@ class TwoPhaseCommitCoordinator:
             tx_id=transaction.tx_id, transaction=transaction,
             shards=list(shards), started_at=now,
             phase=DistributedTxPhase.BEGINNING,
+            begin_seq=next(self._counter),
         )
         self.records[transaction.tx_id] = record
         self.stats.started += 1
@@ -158,10 +222,12 @@ class TwoPhaseCommitCoordinator:
             self.reference.begin(transaction.tx_id, len(shards))
         return record
 
-    def mark_begin_executed(self, tx_id: str) -> DistributedTxRecord:
+    def mark_begin_executed(self, tx_id: str, now: float = 0.0) -> DistributedTxRecord:
         """R has executed BeginTx: PrepareTx requests may now be sent (step 1a)."""
         record = self._record(tx_id)
         record.phase = DistributedTxPhase.PREPARING
+        if self.prepare_timeout is not None:
+            record.prepare_deadline = now + self.prepare_timeout
         return record
 
     # ----------------------------------------------------------------- voting
@@ -173,16 +239,48 @@ class TwoPhaseCommitCoordinator:
         that already decided, completed and was pruned (e.g. a slow shard's
         PrepareOK after another shard's PrepareNotOK aborted the
         transaction); such stale votes are ignored and ``None`` is returned.
+
+        Revotes from a shard that already voted are idempotent-or-rejected:
+        an identical revote is a counted no-op, an OK after a NotOK is
+        rejected (it can never resurrect the transaction), and a NotOK after
+        an OK — an equivocating shard — aborts an undecided transaction,
+        mirroring the replicated state machine.  The first recorded vote is
+        never overwritten.
         """
+        if self.crashed:
+            self._crash_buffer.append(("vote", tx_id, shard_id, ok, now, reason))
+            return None
         if not self.retain_records and tx_id not in self.records:
+            self.stats.stale_messages += 1
             return None
         record = self._record(tx_id)
         if shard_id not in record.shards:
             raise TransactionAbortedError(
                 f"shard {shard_id} is not a participant of {tx_id!r}"
             )
-        record.prepare_votes[shard_id] = ok
-        record.phase = DistributedTxPhase.VOTING
+        previous = record.prepare_votes.get(shard_id)
+        if previous is not None:
+            if previous == ok:
+                self.stats.duplicate_votes += 1
+                return record
+            if ok:
+                # An OK revote after a NotOK can never resurrect the
+                # transaction: it is a stale late arrival, not equivocation.
+                self.stats.stale_messages += 1
+                return record
+            self.stats.equivocations += 1
+            if record.outcome is not DistributedTxOutcome.PENDING:
+                return record
+            # NotOK after OK while undecided falls through as an abort vote
+            # (the replicated state machine treats it the same way); the
+            # recorded first vote is preserved.
+        else:
+            record.prepare_votes[shard_id] = ok
+        if record.outcome is DistributedTxOutcome.PENDING:
+            # A late vote on an already-decided transaction is recorded but
+            # must not regress the lifecycle phase (the seed reset DONE
+            # records back to VOTING here).
+            record.phase = DistributedTxPhase.VOTING
         if not ok and reason and record.abort_reason is None:
             record.abort_reason = reason
         if self.use_reference_committee:
@@ -211,11 +309,23 @@ class TwoPhaseCommitCoordinator:
         """A tx-committee executed its CommitTx/AbortTx (step 2).
 
         Stale acks for pruned transactions are ignored (see
-        :meth:`record_prepare_vote`).
+        :meth:`record_prepare_vote`); duplicate acks are counted no-ops and
+        acks from non-participant shards are rejected.
         """
+        if self.crashed:
+            self._crash_buffer.append(("ack", tx_id, shard_id, now))
+            return None
         if not self.retain_records and tx_id not in self.records:
+            self.stats.stale_messages += 1
             return None
         record = self._record(tx_id)
+        if shard_id not in record.shards:
+            raise TransactionAbortedError(
+                f"shard {shard_id} is not a participant of {tx_id!r}"
+            )
+        if shard_id in record.commit_acks:
+            self.stats.duplicate_acks += 1
+            return record
         record.commit_acks[shard_id] = True
         if record.all_acks_in and record.phase is not DistributedTxPhase.DONE:
             self._finish(record, now)
@@ -236,6 +346,72 @@ class TwoPhaseCommitCoordinator:
         if not self.retain_records:
             self.records.pop(record.tx_id, None)
             self.reference.transactions.pop(record.tx_id, None)
+
+    # -------------------------------------------------------- crash / recovery
+    def crash(self) -> None:
+        """The coordinator fails: incoming votes/acks are buffered, not applied.
+
+        The buffered messages model durability — shard votes and acks are
+        transactions in the shards' (and R's) ledgers, so a recovering
+        coordinator re-reads them rather than losing them.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.stats.coordinator_crashes += 1
+
+    def recover(self, now: float = 0.0) -> RecoveryReport:
+        """Come back up: replay buffered messages and report what to re-drive.
+
+        Raises :class:`~repro.errors.CoordinatorFailureError` if the
+        coordinator is not crashed.
+        """
+        if not self.crashed:
+            raise CoordinatorFailureError("recover() called on a live coordinator")
+        self.crashed = False
+        report = RecoveryReport()
+        buffered, self._crash_buffer = self._crash_buffer, []
+        completed_ids = set()
+        for op in buffered:
+            if op[0] == "vote":
+                _, tx_id, shard_id, ok, at, reason = op
+                record = self.record_prepare_vote(tx_id, shard_id, ok, now=at,
+                                                  reason=reason)
+            else:
+                _, tx_id, shard_id, at = op
+                record = self.record_commit_ack(tx_id, shard_id, now=at)
+            report.replayed += 1
+            if (record is not None and record.phase is DistributedTxPhase.DONE
+                    and record.tx_id not in completed_ids):
+                completed_ids.add(record.tx_id)
+                report.completed.append(record)
+        for record in self.records.values():
+            if record.phase is DistributedTxPhase.DONE:
+                continue
+            if record.outcome is DistributedTxOutcome.PENDING:
+                report.restart.append(record)
+            else:
+                report.redrive.append(record)
+        # The scheduler acting on the report calls mark_redriven() for the
+        # transactions it actually re-drives; merely being listed (e.g. a
+        # decision already sent, acks still in flight) is not a re-drive.
+        return report
+
+    def mark_redriven(self, record: DistributedTxRecord) -> None:
+        """The scheduler re-sent this transaction's prepares or decision."""
+        record.redrives += 1
+        self.stats.redriven_transactions += 1
+
+    def expired_prepares(self, now: float) -> List[DistributedTxRecord]:
+        """Undecided transactions whose prepare deadline has passed."""
+        if self.prepare_timeout is None:
+            return []
+        return [
+            record for record in self.records.values()
+            if record.outcome is DistributedTxOutcome.PENDING
+            and record.prepare_deadline is not None
+            and record.prepare_deadline <= now
+        ]
 
     # ------------------------------------------------------------------ misc
     def _record(self, tx_id: str) -> DistributedTxRecord:

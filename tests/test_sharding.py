@@ -226,6 +226,30 @@ class TestCrossShardProbability:
         assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-9)
 
 
+class TestLockContentionAnalytics:
+    def test_pairwise_conflict_two_keys_small_space(self):
+        from repro.sharding.cross_shard import pairwise_conflict_probability
+
+        # K=4, d=2: P[miss] = C(2,2)/C(4,2) = 1/6.
+        assert pairwise_conflict_probability(4, 2) == pytest.approx(5.0 / 6.0)
+        assert pairwise_conflict_probability(1000, 0) == 0.0
+        assert pairwise_conflict_probability(3, 2) == 1.0  # overlap forced
+
+    def test_contention_grows_with_in_flight(self):
+        from repro.sharding.cross_shard import (
+            contention_probability,
+            expected_conflicting_peers,
+        )
+
+        values = [contention_probability(500, 2, m) for m in (1, 10, 100, 1000)]
+        assert values[0] == 0.0
+        assert values == sorted(values)
+        assert values[-1] > 0.9
+        assert expected_conflicting_peers(500, 2, 1) == 0.0
+        assert expected_conflicting_peers(500, 2, 101) == pytest.approx(
+            100 * contention_probability(500, 2, 2))
+
+
 class TestEpochSchedule:
     def test_epoch_progression(self):
         schedule = EpochSchedule(epoch_duration=100.0)
