@@ -1,4 +1,9 @@
-"""Figure 12 benchmark: throughput during shard reconfiguration."""
+"""Figure 12 benchmark: throughput during shard reconfiguration.
+
+Runs the live epoch lifecycle (beacon randomness, committee re-assignment,
+executed migrations with state-transfer delays derived from actual shard
+state sizes) and asserts the paper's shape.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +11,19 @@ from repro.experiments import fig12_reconfiguration
 
 
 def test_fig12_reconfiguration(benchmark, run_bench):
-    result = run_bench(benchmark, fig12_reconfiguration.run,
-                       duration=45.0, committee_size=5, num_shards=2,
-                       clients=4, outstanding=10, state_transfer=6.0)
+    result = run_bench(benchmark, fig12_reconfiguration.run, duration=60.0)
     averages = {row["strategy"]: row["throughput_tps"] for row in result.rows
                 if row["time_s"] is None}
-    # Paper shape: swap-all hurts throughput; batched swapping tracks the baseline.
-    assert averages["swap_all"] <= averages["no_reshard"]
-    assert averages["swap_log_n"] >= averages["swap_all"]
+    # Membership really changed: both strategies executed the same migrations.
+    assert result.metadata["swap_all"]["migrated"] > 0
+    assert result.metadata["swap_all"]["migrated"] == result.metadata["swap_log_n"]["migrated"]
+    assert result.metadata["swap_log_n"]["reconfigurations"] == 2
+    # Paper shape: swap-all troughs to ~0 during the transfer window (the
+    # open-loop backlog partially catches up afterwards, so the average only
+    # dips) while batched swapping tracks the no-reshard baseline.
+    assert averages["swap_all"] < averages["no_reshard"]
+    assert averages["swap_log_n"] >= 0.9 * averages["no_reshard"]
+    trough = min(row["throughput_tps"] for row in result.rows
+                 if row["strategy"] == "swap_all_series" and row["time_s"] is not None
+                 and 18.0 <= row["time_s"] <= 57.0)
+    assert trough <= 0.25 * averages["no_reshard"]

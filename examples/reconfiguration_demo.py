@@ -51,8 +51,10 @@ def main() -> None:
         if strategy is not None:
             system.perform_reconfiguration(strategy, at_time=15.0, state_transfer_seconds=8.0)
         result = system.run(40.0)
+        moved = sum(t.nodes_moved for t in system.epoch_transitions)
         print(f"  {label:14s}: {result.throughput_tps:7.1f} tps "
-              f"({result.committed_transactions} committed)")
+              f"({result.committed_transactions} committed, epoch "
+              f"{result.current_epoch}, {moved} nodes really migrated)")
 
 
 if __name__ == "__main__":

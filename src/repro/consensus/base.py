@@ -230,6 +230,12 @@ class ConsensusReplica(SimProcess):
         self.view = 0
         self.next_seq = 1
         self.last_executed = 0
+        #: Committee members currently fetching state at an epoch transition.
+        #: The transition is a coordinated protocol event — every member
+        #: knows the migration plan — so all replicas hold the same set and
+        #: agree on skipping these members in the leader rotation until they
+        #: activate.  Empty outside transitions (the seed fast path).
+        self.syncing_members: Set[int] = set()
         self.pending_txs: Deque[Transaction] = deque()
         # seen_tx_ids is never capacity-evicted: under GC it is self-bounding
         # (ids are discarded on commit, so it tracks pending + in-flight), and
@@ -257,6 +263,9 @@ class ConsensusReplica(SimProcess):
         self._progress_check_pending = False
         self._last_block_time = 0.0
         self._interval_retry_pending = False
+        #: Transactions already reflected in the state snapshot this member
+        #: installed when it joined mid-run (0 for founding members).
+        self._committed_before_join = 0
         self._on_commit: List[Callable[[CommitEvent], None]] = []
 
     # ------------------------------------------------------------ membership
@@ -274,6 +283,13 @@ class ConsensusReplica(SimProcess):
 
     def leader_id(self, view: Optional[int] = None) -> int:
         view = self.view if view is None else view
+        if self.syncing_members:
+            # Skip members still fetching state (deterministic: everyone
+            # holds the same transition plan, so everyone agrees).
+            for offset in range(self.n):
+                candidate = self.committee[(view + offset) % self.n]
+                if candidate not in self.syncing_members:
+                    return candidate
         return self.committee[view % self.n]
 
     def expected_proposer(self, seq: int, view: Optional[int] = None) -> int:
@@ -294,6 +310,102 @@ class ConsensusReplica(SimProcess):
     def on_commit(self, callback: Callable[[CommitEvent], None]) -> None:
         """Subscribe to block execution events on this replica."""
         self._on_commit.append(callback)
+
+    def handoff_backlog(self) -> List[Transaction]:
+        """Everything this replica would strand by leaving right now.
+
+        Accepted-but-unproposed transactions, client requests still sitting
+        in the inbound queue, and the contents of its uncommitted proposals
+        (a pre-prepare may not have left the wire yet).  The graceful leave
+        hands these to the remaining committee — the simulation equivalent
+        of clients retrying against members that are still there.
+        Receivers dedup on their seen/committed id sets, and the
+        exactly-once filter in ``_apply_block`` makes even a re-proposal
+        that races a surviving copy of the original proposal harmless.
+        """
+        committed = self.committed_tx_ids
+        backlog = [tx for tx in self.pending_txs if tx.tx_id not in committed]
+        handed = {tx.tx_id for tx in backlog}
+        sources = list(self._inbound_requests.values())
+        for instance in self.instances.values():
+            if not instance.committed and instance.block is not None:
+                sources.append(instance.block)
+        for source in sources:
+            for tx in getattr(source, "transactions", ()):
+                tx_id = tx.tx_id
+                if tx_id not in committed and tx_id not in handed:
+                    handed.add(tx_id)
+                    backlog.append(tx)
+        return backlog
+
+    def leave_committee(self) -> None:
+        """Depart the committee for good (epoch reconfiguration).
+
+        A *graceful* leave: the replica stops processing inbound work (the
+        crash flag no-ops its queued handlers and timers), but messages it
+        had already signed and queued — e.g. the pre-prepare of a block it
+        proposed moments before leaving — still flush out through the
+        network layer, exactly as a real node drains its sockets on
+        shutdown.  Its id is never reused; stale messages addressed to it
+        are counted as drops.
+        """
+        self.crashed = True
+        self.network.unregister(self.node_id)
+
+    def install_state_from(self, source: "ConsensusReplica") -> None:
+        """State transfer on joining a committee.
+
+        Called when the modelled transfer delay has elapsed: the new member
+        adopts the source's world state snapshot, execution cursors, dedup
+        sets, pending backlog and the in-flight consensus log tail (the
+        instances after the snapshot point, whose effects the snapshot does
+        not yet include), then executes whatever of that tail is already
+        committed.  Its ledger starts fresh at the join point — exactly what
+        a node that fetched a state snapshot rather than the full history
+        holds.
+        """
+        self.state.restore(source.state.snapshot())
+        self.view = source.view
+        self.last_executed = source.last_executed
+        # The ledger restarts at the join point; carry the source's committed
+        # count so committee-level metrics stay continuous across the join.
+        self._committed_before_join = source.committed_transactions()
+        self.next_seq = max(self.next_seq, source.next_seq)
+        self.stable_checkpoint = source.stable_checkpoint
+        self._gc_horizon = source.last_executed
+        self._last_block_time = self.sim.now
+        committed = BoundedIdSet(self.config.dedup_window)
+        committed.update(source.committed_tx_ids)
+        committed.trim()
+        self.committed_tx_ids = committed
+        seen = BoundedIdSet(None)
+        seen.update(source.seen_tx_ids)
+        self.seen_tx_ids = seen
+        self.in_flight_tx_ids = set(source.in_flight_tx_ids)
+        self.pending_txs = deque(source.pending_txs)
+        self.instances = {}
+        self._outstanding = 0
+        for seq, instance in source.instances.items():
+            if seq <= self.last_executed:
+                continue
+            clone = _Instance(
+                seq=seq, view=instance.view, block=instance.block,
+                block_digest=instance.block_digest,
+                pre_prepared=instance.pre_prepared,
+                prepares=set(instance.prepares), commits=set(instance.commits),
+                prepared=instance.prepared, committed=instance.committed,
+                proposed_at=instance.proposed_at,
+            )
+            self.instances[seq] = clone
+            if not clone.committed:
+                self._outstanding += 1
+                # The adopted in-flight instance needs a timer of its own:
+                # without one this member would never vote for the view
+                # change that resolves a stalled slot, and a committee whose
+                # stayers alone are short of the view-change quorum would
+                # freeze.
+                self._start_timer(clone)
+        self._try_execute()
 
     # ------------------------------------------------------------- submission
     def submit_transactions(self, transactions: Sequence[Transaction]) -> None:
@@ -518,9 +630,23 @@ class ConsensusReplica(SimProcess):
                 return
             self._propose_block(batch)
 
+    def _next_proposal_seq(self) -> int:
+        """First sequence number this leader may mint.
+
+        A replica that becomes leader mid-stream (after a committee
+        membership change or a view change) must neither re-propose numbers
+        the committee already decided nor collide with its predecessor's
+        still-in-flight proposals, so the cursor skips past every locally
+        known instance.  For a stable leader this is exactly ``next_seq``.
+        Rotating-leader protocols override this: their proposer of height
+        ``h`` is fixed, so they must not skip heights.
+        """
+        latest_known = max(self.instances, default=0)
+        return max(self.next_seq, self.last_executed + 1, latest_known + 1)
+
     def _propose_block(self, batch: List[Transaction]) -> None:
-        seq = self.next_seq
-        self.next_seq += 1
+        seq = self._next_proposal_seq()
+        self.next_seq = seq + 1
         for tx in batch:
             self.in_flight_tx_ids.add(tx.tx_id)
         block = build_block(
@@ -718,8 +844,11 @@ class ConsensusReplica(SimProcess):
         committed = self.committed_tx_ids
         seen = self.seen_tx_ids
         in_flight = self.in_flight_tx_ids
+        fresh: List[Transaction] = []
         for tx in block.transactions:
             tx_id = tx.tx_id
+            if tx_id not in committed:
+                fresh.append(tx)
             committed[tx_id] = None
             in_flight.discard(tx_id)
             if gc_enabled:
@@ -731,17 +860,35 @@ class ConsensusReplica(SimProcess):
         # was computed once by the proposer and its digest is what the quorum
         # voted on, so it is reused verbatim (no rebuild) and — under
         # trusted_append — the ledger skips the redundant re-verification.
-        chained = build_block(
-            height=self.blockchain.height + 1,
-            prev_hash=self.blockchain.tip.block_hash,
-            transactions=block.transactions,
-            proposer=block.header.proposer,
-            view=block.header.view,
-            timestamp=block.header.timestamp,
-            shard_id=self.shard_id,
-            merkle_root=block.header.merkle_root,
-        )
-        self.blockchain.append(chained, verify_merkle=not self.config.trusted_append)
+        #
+        # Exactly-once execution: a transaction already executed here (only
+        # possible when a leader hand-off during an epoch transition raced a
+        # still-in-flight proposal) is filtered out of the local chained
+        # block instead of being applied twice; the common case appends the
+        # agreed block verbatim.
+        if len(fresh) == len(block.transactions):
+            chained = build_block(
+                height=self.blockchain.height + 1,
+                prev_hash=self.blockchain.tip.block_hash,
+                transactions=block.transactions,
+                proposer=block.header.proposer,
+                view=block.header.view,
+                timestamp=block.header.timestamp,
+                shard_id=self.shard_id,
+                merkle_root=block.header.merkle_root,
+            )
+            self.blockchain.append(chained, verify_merkle=not self.config.trusted_append)
+        else:
+            chained = build_block(
+                height=self.blockchain.height + 1,
+                prev_hash=self.blockchain.tip.block_hash,
+                transactions=tuple(fresh),
+                proposer=block.header.proposer,
+                view=block.header.view,
+                timestamp=block.header.timestamp,
+                shard_id=self.shard_id,
+            )
+            self.blockchain.append(chained, verify_merkle=False)
         receipts = self.engine.execute_block(chained, now=self.sim.now)
         now = self.sim.now
         self._last_block_time = now
@@ -755,8 +902,15 @@ class ConsensusReplica(SimProcess):
         event = CommitEvent(replica_id=self.node_id, block=chained, receipts=receipts, committed_at=now)
         for callback in self._on_commit:
             callback(event)
+        # Checkpoint on canonical slots (seq ≡ 0 mod interval): every replica
+        # then votes for the *same* checkpoint sequence numbers.  Gating on
+        # ``last_executed`` at apply time — evaluated after a whole run of
+        # instances was marked executed — made replicas whose apply batches
+        # differed (anyone catching up after a membership change) vote for
+        # mismatched seqs, so checkpoints never reached quorum and stable
+        # checkpoints (and the GC behind them) froze.
         if (self.config.checkpoint_interval > 0
-                and self.last_executed % self.config.checkpoint_interval == 0):
+                and instance.seq % self.config.checkpoint_interval == 0):
             checkpoint = m.Checkpoint(seq=instance.seq, replica=self.node_id)
             self._broadcast_consensus(m.KIND_CHECKPOINT, checkpoint)
             self._record_checkpoint_vote(instance.seq, self.node_id)
@@ -778,9 +932,15 @@ class ConsensusReplica(SimProcess):
     def _advance_stable_checkpoint(self, seq: int) -> None:
         """A quorum has executed up to ``seq``: instances at or below it are final.
 
-        This is PBFT's stable-checkpoint rule; it lets a replica that missed
-        commit messages (e.g. they were dropped from an overloaded queue)
-        catch up as long as it holds the corresponding pre-prepared blocks.
+        This is PBFT's stable-checkpoint rule.  Only instances prepared *in
+        the current view* are rescued into the committed set: a prepared
+        certificate pins the block a quorum endorsed for the slot in that
+        view, but this simulation's simplified view change does not carry
+        prepared certificates into new views, so rescuing a stale-view
+        certificate could execute a proposal that lost its slot across the
+        view change — silent state divergence.  A replica holding only
+        stale-view state catches up through the new view's re-proposals
+        instead.
 
         With ``gc_enabled`` the stable checkpoint additionally drives garbage
         collection: instances this replica has executed at or below the
@@ -789,8 +949,9 @@ class ConsensusReplica(SimProcess):
         """
         self.stable_checkpoint = seq
         for instance in self.instances.values():
-            if instance.seq <= seq and instance.block is not None and not instance.committed:
-                instance.prepared = True
+            if (instance.seq <= seq and instance.block is not None
+                    and instance.prepared and instance.view == self.view
+                    and not instance.committed):
                 self._mark_committed(instance)
         self._try_execute()
         if self.config.gc_enabled:
@@ -873,12 +1034,9 @@ class ConsensusReplica(SimProcess):
             self._prune_view_change_votes()
         self.monitor.counter(f"view_changes.shard{self.shard_id}").increment()
         # Reset progress on uncommitted instances; they will be re-proposed.
-        pending_blocks: List[Block] = []
         for instance in self.instances.values():
             if not instance.committed:
                 self._cancel_timer(instance)
-                if instance.block is not None:
-                    pending_blocks.append(instance.block)
                 instance.prepares.clear()
                 instance.commits.clear()
                 instance.pre_prepared = False
@@ -888,16 +1046,39 @@ class ConsensusReplica(SimProcess):
             payload = m.NewView(new_view=new_view, leader=self.node_id)
             self.cpu_execute(self.config.costs.ecdsa_sign, self._broadcast_consensus,
                              m.KIND_NEW_VIEW, payload)
-            # Re-queue uncommitted transactions and propose again in the new view.
-            for block in pending_blocks:
-                for tx in block.transactions:
-                    if tx.tx_id not in self.committed_tx_ids:
-                        self.in_flight_tx_ids.discard(tx.tx_id)
-                        self.pending_txs.append(tx)
-            for instance in list(self.instances.values()):
-                if not instance.committed:
+            # Re-propose every surviving uncommitted block *at its original
+            # slot* (PBFT's new-view rule).  Proposing the backlog at fresh
+            # tail sequence numbers instead would leave permanent execution
+            # holes whenever later slots had already committed out of order
+            # — every replica would stall at the first hole forever.
+            for instance in sorted((i for i in self.instances.values()
+                                    if not i.committed), key=lambda i: i.seq):
+                if instance.block is None:
                     self._drop_instance(instance.seq)
+                else:
+                    self._repropose(instance)
             self._maybe_propose()
+
+    def _repropose(self, instance: _Instance) -> None:
+        """Re-propose an uncommitted block at its original sequence number."""
+        instance.pre_prepared = True
+        instance.prepares = {self.node_id}
+        instance.commits = {self.node_id}
+        instance.proposed_at = self.sim.now
+        self.next_seq = max(self.next_seq, instance.seq + 1)
+        for tx in instance.block.transactions:
+            self.in_flight_tx_ids.add(tx.tx_id)
+        self._start_timer(instance)
+        attestation = self._attest("pre-prepare", instance.seq,
+                                   instance.block.header.merkle_root)
+        payload = m.PrePrepare(view=self.view, seq=instance.seq,
+                               block=instance.block, leader=self.node_id,
+                               attestation=attestation)
+        size = (self.config.consensus_message_bytes
+                + self.config.transaction_bytes * len(instance.block.transactions))
+        sign_cost = self._signing_cost() + self.config.proposal_overhead
+        self.cpu_execute(sign_cost, self._broadcast_consensus,
+                         m.KIND_PRE_PREPARE, payload, size)
 
     def _handle_new_view(self, payload: m.NewView) -> None:
         if payload.new_view < self.view:
@@ -914,8 +1095,14 @@ class ConsensusReplica(SimProcess):
 
     # ---------------------------------------------------------------- metrics
     def committed_transactions(self) -> int:
-        """Total transactions executed by this replica."""
-        return self.blockchain.total_transactions()
+        """Total transactions executed on this replica's committee position.
+
+        For a member that joined mid-run this includes the transactions its
+        state snapshot already reflected (``_committed_before_join``), so
+        per-shard counts do not collapse when an observer role passes to a
+        joiner whose own ledger starts at the join point.
+        """
+        return self._committed_before_join + self.blockchain.total_transactions()
 
     def commit_latencies(self) -> List[float]:
         return self.monitor.series(f"commit_latency.replica{self.node_id}").values()

@@ -3,13 +3,27 @@
 This module glues one committee's replicas, a network, and client drivers
 together, and is the workhorse behind the consensus experiments (Figures 2,
 8, 9, 10, 15, 16, 17, 19, 20).
+
+Committees are *reconfigurable*: the epoch lifecycle of the sharded system
+moves members between committees at epoch boundaries through
+:meth:`ConsensusCluster.remove_member` (graceful leave: queued sends flush
+and the unproposed backlog is handed to the remaining members),
+:meth:`ConsensusCluster.admit_member` (the new epoch's membership is fixed
+at the boundary; the joiner counts against the quorum while it fetches
+state) and :meth:`ConsensusCluster.activate_member` (state transfer done:
+the member adopts the world state and in-flight log tail and starts
+serving).  ``has_quorum`` exposes the quorum-aware pause signal: a committee
+whose active members fall below the quorum cannot commit and stalls until
+activations restore it (``submit`` additionally parks requests while *no*
+member is active).  Until the first membership change every path is
+bit-identical to the fixed-membership seed cluster.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.consensus.ahl import AhlReplica, ahl_config
 from repro.consensus.ahl_plus import AhlPlusReplica, ahl_plus_config, ahl_opt1_config
@@ -234,6 +248,9 @@ class ConsensusCluster:
         self.config: ConsensusConfig = config_factory(**(config_overrides or {}))
         self.byzantine = byzantine
         self.shard_id = shard_id
+        self._replica_cls = replica_cls
+        self._registry_factory = registry_factory or self._default_registry
+        self._regions = list(regions) if regions else None
 
         node_ids = list(range(shard_id * 10_000, shard_id * 10_000 + n))
         if regions:
@@ -243,18 +260,40 @@ class ConsensusCluster:
             region_map = {node_id: "local" for node_id in node_ids}
             self._client_region = "local"
 
-        registry_factory = registry_factory or self._default_registry
         self.replicas: List[ConsensusReplica] = []
         for node_id in node_ids:
             replica = replica_cls(
                 node_id=node_id, sim=self.sim, network=self.network,
                 committee=node_ids, config=self.config,
-                registry=registry_factory(), monitor=self.monitor,
+                registry=self._registry_factory(), monitor=self.monitor,
                 region=region_map[node_id], shard_id=shard_id, byzantine=byzantine,
             )
             self.replicas.append(replica)
         self.clients: List[SimProcess] = []
         self._client_id_counter = itertools.count(1_000_000 + shard_id * 1_000)
+        #: Next member slot for replicas joining at an epoch boundary; slots
+        #: (and hence node ids) are never reused.
+        self._next_member_slot = n
+        #: Flips on the first leave/join.  Until then every path below is
+        #: bit-identical to the fixed-membership cluster (the no-epoch runs).
+        self._membership_changed = False
+        #: Client requests parked while no active member can take them (only
+        #: possible mid-transition); flushed when a member activates.
+        self._parked_requests: List[Tuple[Transaction, ...]] = []
+        #: Committee-level commit subscriptions (see ``subscribe_commits``),
+        #: the member relaying them pre-change, and the members already
+        #: carrying the full callback set after the fan-out.
+        self._commit_callbacks: List[Callable[[CommitEvent], None]] = []
+        self._commit_observer: Optional[ConsensusReplica] = None
+        self._fanout_subscribed: set[int] = set()
+        #: Members admitted but still fetching state (mirrors each member's
+        #: ``syncing_members`` view of the coordinated transition).
+        self._syncing: set[int] = set()
+        #: Most advanced member that departed — the state provider of last
+        #: resort when a whole committee is replaced at once (swap-all): a
+        #: real outgoing committee serves its state to the incoming one, so
+        #: joiners with no active peer install from the departed state.
+        self._state_escrow: Optional[ConsensusReplica] = None
 
     @staticmethod
     def _default_registry() -> ChaincodeRegistry:
@@ -289,6 +328,200 @@ class ConsensusCluster:
     def leader(self) -> ConsensusReplica:
         observer = self.honest_observer()
         return self.replica_by_id(observer.leader_id())
+
+    def subscribe_commits(self, callback: Callable[[CommitEvent], None]) -> None:
+        """Subscribe to the *committee's* commits, surviving membership changes.
+
+        On a fixed-membership cluster the callback is attached to one honest
+        member — the same choice the seed made, so the default path is
+        event-identical.  Once membership changes, subscriptions fan out to
+        *every* member (see ``_enable_commit_fanout``): commit reporting then
+        survives any member's departure, at the cost of duplicate events —
+        which every committee-level consumer (receipt watchers, coordinator
+        votes/acks) already treats idempotently.
+        """
+        self._commit_callbacks.append(callback)
+        if self._membership_changed:
+            for replica in self.replicas:
+                replica.on_commit(callback)
+            self._fanout_subscribed.update(r.node_id for r in self.replicas)
+            return
+        if self._commit_observer is None:
+            self._commit_observer = self.honest_observer()
+            self._fanout_subscribed.add(self._commit_observer.node_id)
+        self._commit_observer.on_commit(callback)
+
+    def _enable_commit_fanout(self) -> None:
+        """Attach committee-level subscriptions to every member.
+
+        A single observer is not enough once members migrate: the observer
+        may depart while peers are already *ahead* of it, and the receipts
+        of the blocks in that gap would never be reported — transactions
+        would hang.  With the fan-out, any block executed by any member is
+        reported at its first execution; duplicates are idempotent no-ops.
+        """
+        if not self._commit_callbacks:
+            return
+        for replica in self.replicas:
+            if replica.node_id in self._fanout_subscribed:
+                continue
+            for callback in self._commit_callbacks:
+                replica.on_commit(callback)
+            self._fanout_subscribed.add(replica.node_id)
+
+    def state_source_replica(self) -> Optional[ConsensusReplica]:
+        """The member a joiner fetches state from (or sizes its fetch by).
+
+        The most advanced active honest member; when every member is still
+        syncing (a swap-all full replacement), the escrowed state of the
+        most advanced *departed* member stands in — exactly what the
+        outgoing committee serves to the incoming one in a real deployment.
+        """
+        candidates = [replica for replica in self.replicas
+                      if not replica.crashed and replica.byzantine is None]
+        if candidates:
+            return max(candidates, key=lambda r: r.last_executed)
+        return self._state_escrow
+
+    def enable_request_tracking(self) -> None:
+        """Track queued client requests for graceful hand-off.
+
+        Called as soon as this committee may ever change membership (epochs
+        armed, or an explicit reconfiguration scheduled), so that a member
+        departing later can hand its still-queued requests to the remaining
+        committee instead of stranding them.
+        """
+        for replica in self.replicas:
+            replica.track_requests = True
+
+    def prepare_for_membership_change(self) -> None:
+        """A transition is about to execute: widen the commit reporting now.
+
+        Fanning the subscriptions out *before* the first departure gives the
+        single pre-change observer the whole beacon/migration lead time to
+        report any blocks its faster peers executed pre-fan-out, closing the
+        receipt gap that would otherwise open if the observer itself (often
+        the loaded leader, which lags) were removed mid-catch-up.
+        """
+        self._membership_changed = True
+        self.enable_request_tracking()
+        self._enable_commit_fanout()
+
+    # ---------------------------------------------------- membership changes
+    def active_replicas(self) -> List[ConsensusReplica]:
+        """Members currently serving (joined-but-still-transferring are not)."""
+        return [replica for replica in self.replicas if not replica.crashed]
+
+    def has_quorum(self) -> bool:
+        """True when enough members are active to make progress.
+
+        This is the quorum-aware pause signal of an epoch transition: while
+        a committee lacks it (too many members absent fetching state — the
+        swap-all regime) it cannot commit until activations restore the
+        quorum; ``swap-batch`` keeps this True throughout by bounding
+        concurrent absences to the fault tolerance.  The margins recorded in
+        ``EpochTransitionStats.min_active_margin`` are the quantitative form
+        of this signal.
+        """
+        if not self.replicas:
+            return False
+        return len(self.active_replicas()) >= self.config.quorum_size(len(self.replicas))
+
+    def remove_member(self, node_id: int) -> ConsensusReplica:
+        """A member leaves the committee for good (epoch transition).
+
+        Every remaining member drops it from its committee list (shrinking
+        the quorum denominator), and the departed replica stops processing
+        and leaves the network.  If the departure handed leadership to
+        another member, that member is nudged to propose the pending backlog
+        instead of waiting for a view-change timeout.
+        """
+        replica = self.replica_by_id(node_id)
+        self._membership_changed = True
+        self.enable_request_tracking()
+        self._enable_commit_fanout()
+        self.replicas.remove(replica)
+        replica.leave_committee()
+        if (self._state_escrow is None
+                or replica.last_executed >= self._state_escrow.last_executed):
+            self._state_escrow = replica
+        self._syncing.discard(node_id)
+        for member in self.replicas:
+            if node_id in member.committee:
+                member.committee.remove(node_id)
+            member.syncing_members.discard(node_id)
+        # Hand off the departing member's unproposed backlog — accepted
+        # transactions and queued client requests (clients would retry these
+        # against the remaining committee); members that already hold a copy
+        # dedup on their seen/committed id sets.
+        orphaned = replica.handoff_backlog()
+        if orphaned:
+            self.submit(orphaned)
+        for member in self.replicas:
+            if not member.crashed and member.is_leader:
+                self.sim.schedule(0.0, member._maybe_propose)
+                break
+        return replica
+
+    def admit_member(self) -> int:
+        """A transitioning node joins the committee (epoch transition).
+
+        The new member is counted in everyone's committee list immediately —
+        the new epoch's membership is fixed at the boundary — but stays
+        absent (counting against the quorum) until :meth:`activate_member`
+        signals that its state transfer finished.  Returns the new member's
+        node id; member slots are never reused.
+        """
+        slot = self._next_member_slot
+        self._next_member_slot += 1
+        node_id = self.shard_id * 10_000 + slot
+        self._membership_changed = True
+        region = self._regions[slot % len(self._regions)] if self._regions else "local"
+        committee_ids = self.committee + [node_id]
+        replica = self._replica_cls(
+            node_id=node_id, sim=self.sim, network=self.network,
+            committee=committee_ids, config=self.config,
+            registry=self._registry_factory(), monitor=self.monitor,
+            region=region, shard_id=self.shard_id, byzantine=self.byzantine,
+        )
+        self._syncing.add(node_id)
+        replica.track_requests = True
+        replica.syncing_members = set(self._syncing)
+        for member in self.replicas:
+            member.committee.append(node_id)
+            member.syncing_members.add(node_id)
+        replica.crashed = True
+        self.network.crash(node_id)
+        self.replicas.append(replica)
+        self._enable_commit_fanout()
+        return replica.node_id
+
+    def activate_member(self, node_id: int) -> None:
+        """The joined member finished its state transfer: it starts serving.
+
+        State, execution cursors and the in-flight log tail are adopted from
+        the most advanced active honest member at this moment (the log-replay
+        step of a real state transfer), any requests parked while the
+        committee had no active member are replayed, and — if the member is
+        the current leader — it proposes the backlog right away.
+        """
+        self._syncing.discard(node_id)
+        try:
+            replica = self.replica_by_id(node_id)
+        except ConfigurationError:
+            return  # removed again before activation (back-to-back epochs)
+        for member in self.replicas:
+            member.syncing_members.discard(node_id)
+        source = self.state_source_replica()
+        replica.recover()
+        if source is not None and source is not replica:
+            replica.install_state_from(source)
+        if self._parked_requests:
+            parked, self._parked_requests = self._parked_requests, []
+            for transactions in parked:
+                self.submit(transactions)
+        if replica.is_leader:
+            self.sim.schedule(0.0, replica._maybe_propose)
 
     # ---------------------------------------------------------------- clients
     def add_open_loop_clients(self, count: int, rate_tps: float, batch_size: int = 10,
@@ -330,8 +563,20 @@ class ConsensusCluster:
         The request goes through the replica's normal request path (so it is
         forwarded/broadcast according to the protocol), without requiring a
         separate client process.
+
+        On a cluster whose membership has changed, the default target is the
+        first *active* member (a client retries until somebody answers); if
+        the whole committee is mid-transfer the request is parked and
+        replayed on the next activation.  Before any membership change this
+        is byte-for-byte the seed behaviour (first member, active or not).
         """
         target = to if to is not None else self.committee[0]
+        if to is None and self._membership_changed:
+            target = next((replica.node_id for replica in self.replicas
+                           if not replica.crashed), None)
+            if target is None:
+                self._parked_requests.append(tuple(transactions))
+                return
         request = ClientRequest(
             client_id="direct", request_id=next(self._client_id_counter),
             transactions=tuple(transactions), submitted_at=self.sim.now,

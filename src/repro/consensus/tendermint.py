@@ -45,8 +45,15 @@ class RotatingLeaderReplica(ConsensusReplica):
 
     def expected_proposer(self, seq: int, view: int | None = None) -> int:
         # The proposer of height (sequence) ``seq`` rotates round-robin;
-        # view changes shift the rotation so a stuck proposer is skipped.
+        # view changes shift the rotation so a stuck proposer is skipped, and
+        # members mid-state-transfer (epoch transitions are coordinated, so
+        # everyone holds the same set) are skipped deterministically.
         view = self.view if view is None else view
+        if self.syncing_members:
+            for offset in range(self.n):
+                candidate = self.committee[(seq + view + offset) % self.n]
+                if candidate not in self.syncing_members:
+                    return candidate
         return self.committee[(seq + view) % self.n]
 
     def leader_id(self, view: int | None = None) -> int:
@@ -57,6 +64,12 @@ class RotatingLeaderReplica(ConsensusReplica):
         # Lockstep: sequence numbers follow executed height directly.
         self.next_seq = max(self.next_seq, self.last_executed + 1)
         super()._maybe_propose()
+
+    def _next_proposal_seq(self) -> int:
+        # The proposer of a height is fixed by the rotation, so — unlike the
+        # stable-leader protocols — a proposer must not skip past in-flight
+        # heights it happens to know about.
+        return max(self.next_seq, self.last_executed + 1)
 
     def _apply_block(self, instance: _Instance) -> None:
         super()._apply_block(instance)

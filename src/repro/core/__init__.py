@@ -10,7 +10,7 @@ behaviour can be measured end to end.
 """
 
 from repro.core.config import ShardedSystemConfig
-from repro.core.system import ShardedBlockchain, ShardedRunResult
+from repro.core.system import EpochTransitionStats, ShardedBlockchain, ShardedRunResult
 from repro.core.client_api import ShardedClient
 from repro.core.driver import DriverStats, OpenLoopDriver, attach_open_loop_drivers
 from repro.core.splitters import SmallbankSplitter, KVStoreSplitter, TransactionSplitter
@@ -19,6 +19,7 @@ __all__ = [
     "ShardedSystemConfig",
     "ShardedBlockchain",
     "ShardedRunResult",
+    "EpochTransitionStats",
     "ShardedClient",
     "OpenLoopDriver",
     "DriverStats",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.sharding.reconfiguration import STRATEGIES as RECONFIGURATION_STRATEGIES
 from repro.sharding.sizing import minimum_committee_size
 
 
@@ -61,6 +62,29 @@ class ShardedSystemConfig:
     #: per commit — pair with retain_tx_records=False and a "headers" ledger
     #: retention override for fully bounded 1M-transaction runs.
     max_series_samples: Optional[int] = None
+    #: Length of an epoch in simulated seconds (Section 5.1).  ``None`` — the
+    #: seed default — leaves the deployment in its initial epoch forever;
+    #: explicit reconfigurations via ``perform_reconfiguration`` still work.
+    epoch_duration: Optional[float] = None
+    #: When True the system runs the full epoch lifecycle on its own: at
+    #: every ``epoch_duration`` boundary it derives fresh randomness from the
+    #: beacon protocol, re-assigns committees and executes the migration with
+    #: ``reconfiguration_strategy``.  Requires ``epoch_duration``.  The event
+    #: flow of a run whose first boundary lies beyond the horizon is
+    #: identical to the seed's (one pending-but-unfired timer aside).
+    auto_reconfigure: bool = False
+    #: Migration strategy used by automatic epoch transitions: "swap-batch"
+    #: (the paper's B = log n batched swap) or "swap-all" (the naive
+    #: everyone-at-once baseline).
+    reconfiguration_strategy: str = "swap-batch"
+    #: Bandwidth assumed for shard state transfer; together with the
+    #: destination shard's actual ``StateStore.size_bytes()`` it determines
+    #: how long a transitioning node is absent (``state_transfer_seconds``).
+    state_bandwidth_bps: float = 1e9
+    #: Spacing between consecutive swap batches of one transition (a batch
+    #: never starts before the previous one's transfers finished, so this is
+    #: a floor, not an exact cadence).
+    swap_batch_interval: float = 10.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -77,6 +101,17 @@ class ShardedSystemConfig:
             raise ConfigurationError("wait_timeout must be positive")
         if self.prepare_timeout is not None and self.prepare_timeout <= 0:
             raise ConfigurationError("prepare_timeout must be positive when set")
+        if self.epoch_duration is not None and self.epoch_duration <= 0:
+            raise ConfigurationError("epoch_duration must be positive when set")
+        if self.auto_reconfigure and self.epoch_duration is None:
+            raise ConfigurationError("auto_reconfigure requires epoch_duration")
+        if self.reconfiguration_strategy not in RECONFIGURATION_STRATEGIES:
+            raise ConfigurationError(
+                f"reconfiguration_strategy must be one of {RECONFIGURATION_STRATEGIES}")
+        if self.state_bandwidth_bps <= 0:
+            raise ConfigurationError("state_bandwidth_bps must be positive")
+        if self.swap_batch_interval < 0:
+            raise ConfigurationError("swap_batch_interval must be non-negative")
 
     @property
     def total_nodes(self) -> int:

@@ -45,6 +45,12 @@ class DriverStats:
     #: wounded, insufficient-funds, other) — a handful of keys, so the
     #: breakdown stays O(1) in memory like the rest of the stats.
     abort_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Completions bucketed by the epoch the system was in when the
+    #: transaction finished — one pair of counters per epoch, so the
+    #: footprint grows with the number of reconfigurations, not the run
+    #: length.  Quantifies what an epoch transition cost (Figure 12).
+    epoch_committed: Dict[int, int] = field(default_factory=dict)
+    epoch_aborted: Dict[int, int] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -167,10 +173,13 @@ class OpenLoopDriver:
     def _on_complete(self, record: DistributedTxRecord) -> None:
         stats = self.stats
         stats.in_flight -= 1
+        epoch = self.system.current_epoch
         if record.outcome is DistributedTxOutcome.COMMITTED:
             stats.committed += 1
+            stats.epoch_committed[epoch] = stats.epoch_committed.get(epoch, 0) + 1
         else:
             stats.aborted += 1
+            stats.epoch_aborted[epoch] = stats.epoch_aborted.get(epoch, 0) + 1
             bucket = self._abort_bucket(record.abort_reason)
             stats.abort_reasons[bucket] = stats.abort_reasons.get(bucket, 0) + 1
         latency = record.latency

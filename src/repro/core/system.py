@@ -40,10 +40,36 @@ timeout) none of this machinery schedules events or draws randomness — the
 message flow is identical to the seed implementation, which
 ``tests/test_txn_differential.py`` verifies outcome-for-outcome against an
 inline seed-faithful copy.
+
+Epochs and live reconfiguration
+-------------------------------
+The deployment works in epochs (Section 5).  Every system carries an
+:class:`~repro.sharding.epochs.EpochSchedule`; epoch 0 is the construction
+assignment.  At an epoch boundary — automatic every
+``ShardedSystemConfig.epoch_duration`` seconds when ``auto_reconfigure`` is
+set, or explicit via :meth:`ShardedBlockchain.perform_reconfiguration` — the
+system (1) derives fresh randomness from the beacon protocol (an isolated
+sub-simulation, so the main event stream is untouched), (2) recomputes the
+committee assignment from that randomness, (3) builds a
+:class:`~repro.sharding.reconfiguration.ReconfigurationPlan` and executes it
+as *real membership changes*: transitioning replicas leave their old
+committee, pay a state-transfer delay derived from the destination shard's
+actual ``StateStore.size_bytes()`` (``state_transfer_seconds`` under
+``state_bandwidth_bps``), then join and serve in the new committee — and
+(4) records the transition in the epoch schedule.  ``swap-batch`` moves at
+most ``B = log n`` members of a committee at a time so every committee keeps
+a quorum of active members throughout; ``swap-all`` moves everyone at once
+and stalls the deployment for the transfer window (Figure 12's trough).
+
+With the default configuration (no ``epoch_duration``, no explicit
+reconfiguration) none of this schedules events or draws randomness: the
+no-epoch run is event-for-event identical to the seed implementation, which
+``tests/test_epoch_lifecycle.py`` verifies differentially.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -56,7 +82,15 @@ from repro.ledger.chaincode import ChaincodeRegistry
 from repro.ledger.state import StateStore
 from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
 from repro.sharding.assignment import assign_committees
+from repro.sharding.beacon_protocol import derive_epoch_randomness
 from repro.sharding.committee import CommitteeAssignment
+from repro.sharding.epochs import EpochSchedule
+from repro.sharding.reconfiguration import (
+    STRATEGIES as RECONFIGURATION_STRATEGIES,
+    ReconfigurationPlan,
+    plan_reconfiguration,
+    state_transfer_seconds,
+)
 from repro.sim.latency import LanLatencyModel
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network
@@ -90,6 +124,42 @@ class ShardedRunResult:
     cross_shard_fraction: float
     per_shard_committed: Dict[int, int] = field(default_factory=dict)
     reference_committee_transactions: int = 0
+    current_epoch: int = 0
+    reconfigurations_completed: int = 0
+
+
+@dataclass
+class EpochTransitionStats:
+    """What one executed epoch transition did (kept in ``epoch_transitions``)."""
+
+    epoch: int
+    strategy: str
+    started_at: float
+    #: Randomness locked in by the beacon protocol (None if it gave up).
+    randomness: Optional[int]
+    beacon_rounds: int
+    beacon_seconds: float
+    nodes_to_move: int
+    plan: ReconfigurationPlan
+    nodes_moved: int = 0
+    completed_at: Optional[float] = None
+    #: Per shard, the minimum over the transition of
+    #: ``active members - quorum size`` sampled after each swap batch took
+    #: effect: non-negative everywhere means the committee could commit at
+    #: every point of the migration (the paper's liveness criterion).
+    min_active_margin: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class _ActiveTransition:
+    """Runtime bookkeeping of the transition currently executing."""
+
+    plan: ReconfigurationPlan
+    stats: EpochTransitionStats
+    transfer_override: Optional[float]
+    batch_interval: float
+    old_map: Dict[int, int]
+    new_map: Dict[int, int]
 
 
 @dataclass
@@ -262,6 +332,34 @@ class ShardedBlockchain:
         self._populate_states()
         self._attach_observers()
 
+        #: The live epoch schedule; epoch 0 is the construction assignment.
+        self.epochs = EpochSchedule(
+            epoch_duration=(config.epoch_duration
+                            if config.epoch_duration is not None else 600.0))
+        self.epochs.start_epoch(self.assignment, now=0.0)
+        self.epochs.complete_transition(0.0)
+        #: Logical node id (as used in committee assignments) -> node id of
+        #: the replica currently embodying that node.  A migration retires
+        #: the old replica and binds the logical node to its successor in
+        #: the destination cluster.
+        self._replica_of: Dict[int, int] = {}
+        for committee in self.assignment.committees:
+            cluster = self.shards[committee.shard_id]
+            for logical, replica in zip(committee.members, cluster.replicas):
+                self._replica_of[logical] = replica.node_id
+        #: History of executed epoch transitions (stats + their plans).
+        self.epoch_transitions: List[EpochTransitionStats] = []
+        self._active_transition: Optional[_ActiveTransition] = None
+        self.reconfigurations_completed = 0
+        self.epoch_boundaries_skipped = 0
+        if config.auto_reconfigure:
+            # The only scheduling the epoch machinery does by default-off
+            # config: one timer per boundary.  A run that never reaches the
+            # first boundary is event-for-event identical to the seed path.
+            for cluster in self.shards.values():
+                cluster.enable_request_tracking()
+            self.sim.schedule(config.epoch_duration, self._epoch_tick)
+
     # ---------------------------------------------------------------- set-up
     def _form_committees(self) -> CommitteeAssignment:
         node_ids = list(range(self.config.total_nodes))
@@ -324,11 +422,9 @@ class ShardedBlockchain:
 
     def _attach_observers(self) -> None:
         for shard_id, cluster in self.shards.items():
-            observer = cluster.honest_observer()
-            observer.on_commit(self._make_observer(shard_id))
+            cluster.subscribe_commits(self._make_observer(shard_id))
         if self.reference is not None:
-            observer = self.reference.honest_observer()
-            observer.on_commit(self._make_observer(REFERENCE_SHARD_ID))
+            self.reference.subscribe_commits(self._make_observer(REFERENCE_SHARD_ID))
 
     def _make_observer(self, shard_id: int) -> Callable[[CommitEvent], None]:
         def on_commit(event: CommitEvent) -> None:
@@ -393,6 +489,36 @@ class ShardedBlockchain:
 
         self._watch(tx, on_receipt)
         self._relay(lambda: self.shards[shard_id].submit([tx]))
+        if self.config.prepare_timeout is not None:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_single_shard_deadline, tx.tx_id)
+
+    def _check_single_shard_deadline(self, tx_id: str) -> None:
+        """Re-submit a single-shard transaction whose receipt never came.
+
+        The single-shard mirror of the cross-shard prepare re-drive: under
+        ``prepare_timeout`` a transaction lost in transit (e.g. submitted to
+        a shard in the middle of a swap-all outage) is retried instead of
+        hanging forever.  The receipt watcher is still registered, and the
+        shards dedup re-submissions on their seen/committed id sets, so a
+        retry that races the original is a no-op.
+        """
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE or record.prepare_votes):
+            return
+        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
+            delay = (record.prepare_deadline - self.sim.now
+                     if record.prepare_deadline is not None
+                     else self.config.prepare_timeout)
+            self.sim.schedule(max(delay, 1e-9), self._check_single_shard_deadline, tx_id)
+            return
+        shard_id = record.shards[0]
+        self.coordinator.mark_redriven(record)
+        record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+        self._relay(lambda: self.shards[shard_id].submit([record.transaction]))
+        self.sim.schedule(self.config.prepare_timeout,
+                          self._check_single_shard_deadline, tx_id)
 
     # --------------------------------------------------------- cross shard tx
     def _submit_begin_tx(self, record: DistributedTxRecord) -> None:
@@ -718,39 +844,188 @@ class ShardedBlockchain:
             cross_shard_fraction=(stats.cross_shard / stats.started if stats.started else 0.0),
             per_shard_committed=per_shard,
             reference_committee_transactions=reference_txs,
+            current_epoch=self.epochs.current_epoch,
+            reconfigurations_completed=self.reconfigurations_completed,
         )
 
-    # -------------------------------------------------------- reconfiguration
+    # ------------------------------------------------- epochs/reconfiguration
+    @property
+    def current_epoch(self) -> int:
+        """The epoch the deployment is currently in."""
+        return self.epochs.current_epoch
+
     def perform_reconfiguration(self, strategy: str, at_time: float,
-                                state_transfer_seconds: float = 20.0,
+                                state_transfer_seconds: Optional[float] = None,
                                 batch_size: Optional[int] = None,
-                                batch_interval: float = 10.0) -> None:
-        """Schedule an epoch transition (Figure 12).
+                                batch_interval: Optional[float] = None) -> None:
+        """Schedule an explicit epoch transition at ``at_time`` (Figure 12).
 
-        ``swap-all`` stops every replica of every shard for the state-transfer
-        duration (the naive approach); ``swap-batch`` stops at most ``B``
-        replicas per committee at a time, spaced ``batch_interval`` apart, so
-        each committee keeps a quorum and the system stays available.
+        At that moment the full epoch lifecycle runs: beacon randomness,
+        committee re-assignment, and the executed migration plan — real
+        membership changes, not in-place pauses.  ``swap-all`` moves every
+        transitioning node at once (the naive approach; committees lose
+        their quorum for the transfer window); ``swap-batch`` moves at most
+        ``B`` nodes per committee per batch, spaced at least
+        ``batch_interval`` apart, so each committee keeps a quorum and the
+        system stays available.
+
+        ``state_transfer_seconds`` overrides the per-node transfer delay;
+        by default it is derived from the destination shard's actual state
+        size via :func:`repro.sharding.reconfiguration.state_transfer_seconds`
+        under ``config.state_bandwidth_bps``.
         """
-        if strategy not in ("swap-all", "swap-batch"):
+        if strategy not in RECONFIGURATION_STRATEGIES:
             raise ConfigurationError(f"unknown reconfiguration strategy {strategy!r}")
-        from repro.sharding.reconfiguration import swap_batch_size
-
+        if at_time < self.sim.now:
+            raise ConfigurationError(
+                f"cannot reconfigure at {at_time!r}: it is in the past "
+                f"(simulated time is {self.sim.now!r})")
+        if batch_interval is None:
+            batch_interval = self.config.swap_batch_interval
         for cluster in self.shards.values():
-            replicas = cluster.replicas
-            if strategy == "swap-all":
-                for replica in replicas:
-                    self.sim.schedule_at(at_time, replica.crash)
-                    self.sim.schedule_at(at_time + state_transfer_seconds, replica.recover)
-            else:
-                batch = batch_size or swap_batch_size(len(replicas))
-                batch = min(batch, max(1, cluster.config.fault_tolerance(len(replicas))))
-                start = at_time
-                for index in range(0, len(replicas), batch):
-                    for replica in replicas[index:index + batch]:
-                        self.sim.schedule_at(start, replica.crash)
-                        self.sim.schedule_at(start + state_transfer_seconds, replica.recover)
-                    start += max(batch_interval, state_transfer_seconds)
+            cluster.enable_request_tracking()
+        self.sim.schedule_at(at_time, self._begin_transition_attempt, strategy,
+                             state_transfer_seconds, batch_size, batch_interval)
+
+    def _begin_transition_attempt(self, strategy: str,
+                                  transfer_override: Optional[float],
+                                  batch_size: Optional[int],
+                                  batch_interval: float) -> None:
+        """Start the requested transition, deferring while one is running."""
+        if self._active_transition is not None:
+            self.sim.schedule(1.0, self._begin_transition_attempt, strategy,
+                              transfer_override, batch_size, batch_interval)
+            return
+        self._start_epoch_transition(strategy, transfer_override, batch_size,
+                                     batch_interval)
+
+    def _epoch_tick(self) -> None:
+        """The automatic epoch clock (scheduled only under ``auto_reconfigure``)."""
+        if self._active_transition is not None:
+            self.epoch_boundaries_skipped += 1
+        elif self.epochs.next_epoch_due(self.sim.now):
+            self._start_epoch_transition(self.config.reconfiguration_strategy,
+                                         None, None,
+                                         self.config.swap_batch_interval)
+        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+
+    def _start_epoch_transition(self, strategy: str,
+                                transfer_override: Optional[float],
+                                batch_size: Optional[int],
+                                batch_interval: float) -> None:
+        """Run the epoch lifecycle: randomness -> assignment -> migration."""
+        epoch = self.epochs.current_epoch + 1
+        beacon = derive_epoch_randomness(self.config.total_nodes, epoch,
+                                         seed=self.config.seed)
+        rnd = beacon.rnd if beacon.succeeded else self.config.seed * 1_000_003 + epoch
+        new_assignment = assign_committees(sorted(self._replica_of),
+                                           self.config.num_shards,
+                                           seed=rnd, epoch=epoch)
+        plan = plan_reconfiguration(self.assignment, new_assignment,
+                                    strategy=strategy, batch_size=batch_size)
+        if strategy == "swap-batch" and not plan.preserves_liveness():
+            clamp = max(1, min(committee.fault_tolerance()
+                               for committee in self.assignment.committees))
+            if clamp < plan.batch_size:
+                warnings.warn(
+                    f"swap-batch size {plan.batch_size} would cost some committee "
+                    f"its quorum; clamped to {clamp}", RuntimeWarning, stacklevel=2)
+                plan = plan_reconfiguration(self.assignment, new_assignment,
+                                            strategy=strategy, batch_size=clamp)
+        if not plan.preserves_liveness():
+            warnings.warn(
+                f"epoch {epoch} {strategy} plan does not preserve liveness: some "
+                "committee loses its quorum during the transition",
+                RuntimeWarning, stacklevel=2)
+        stats = EpochTransitionStats(
+            epoch=epoch, strategy=strategy, started_at=self.sim.now,
+            randomness=beacon.rnd, beacon_rounds=beacon.rounds,
+            beacon_seconds=beacon.elapsed_seconds,
+            nodes_to_move=len(plan.transitioning_nodes), plan=plan,
+        )
+        self.epoch_transitions.append(stats)
+        self.epochs.start_epoch(new_assignment, now=self.sim.now)
+        self.assignment = new_assignment
+        transition = _ActiveTransition(
+            plan=plan, stats=stats, transfer_override=transfer_override,
+            batch_interval=batch_interval,
+            old_map=plan.old_assignment.membership_map(),
+            new_map=new_assignment.membership_map(),
+        )
+        self._active_transition = transition
+        for cluster in self.shards.values():
+            cluster.prepare_for_membership_change()
+        # Randomness generation is part of the transition window: the first
+        # swap batch starts once the beacon's rnd is locked in.
+        self.sim.schedule(beacon.elapsed_seconds, self._run_migration_step,
+                          transition, 0)
+
+    def _run_migration_step(self, transition: _ActiveTransition, index: int) -> None:
+        """Execute one swap batch; reschedules itself until the plan is done."""
+        plan = transition.plan
+        if index >= plan.num_steps:
+            self._complete_transition(transition)
+            return
+        max_transfer = 0.0
+        for logical in sorted(plan.nodes_in_step(index)):
+            max_transfer = max(max_transfer, self._migrate_node(transition, logical))
+            transition.stats.nodes_moved += 1
+        self._record_membership_margins(transition.stats)
+        # The next batch never starts before this batch's transfers finish,
+        # so concurrent absences stay bounded by the batch size.
+        delay = (max(transition.batch_interval, max_transfer)
+                 if index + 1 < plan.num_steps else max_transfer)
+        self.sim.schedule(delay, self._run_migration_step, transition, index + 1)
+
+    def _migrate_node(self, transition: _ActiveTransition, logical: int) -> float:
+        """One node leaves its old committee and joins its new one.
+
+        Returns the modelled state-transfer delay after which the new member
+        activates (starts serving in the destination committee).
+        """
+        old_shard = transition.old_map[logical]
+        new_shard = transition.new_map[logical]
+        source_cluster = self.shards[old_shard]
+        dest_cluster = self.shards[new_shard]
+        transfer = transition.transfer_override
+        if transfer is None:
+            transfer = state_transfer_seconds(
+                self._shard_state_bytes(dest_cluster),
+                bandwidth_bps=self.config.state_bandwidth_bps)
+        source_cluster.remove_member(self._replica_of[logical])
+        new_physical = dest_cluster.admit_member()
+        self._replica_of[logical] = new_physical
+        self.sim.schedule(transfer, dest_cluster.activate_member, new_physical)
+        return transfer
+
+    @staticmethod
+    def _shard_state_bytes(cluster: ConsensusCluster) -> int:
+        """The destination shard's state size, as a joining node would fetch it.
+
+        Sized from the same member the joiner will install from (including
+        the escrowed state of a fully-replaced committee), so a swap-all
+        replacement never sees an empty fresh joiner and concludes the
+        transfer is free.
+        """
+        source = cluster.state_source_replica()
+        return source.state.size_bytes() if source is not None else 0
+
+    def _record_membership_margins(self, stats: EpochTransitionStats) -> None:
+        """Sample each committee's active-members-minus-quorum margin."""
+        for shard_id, cluster in self.shards.items():
+            if not cluster.replicas:
+                continue
+            margin = (len(cluster.active_replicas())
+                      - cluster.config.quorum_size(len(cluster.replicas)))
+            previous = stats.min_active_margin.get(shard_id)
+            if previous is None or margin < previous:
+                stats.min_active_margin[shard_id] = margin
+
+    def _complete_transition(self, transition: _ActiveTransition) -> None:
+        self.epochs.complete_transition(self.sim.now)
+        transition.stats.completed_at = self.sim.now
+        self.reconfigurations_completed += 1
+        self._active_transition = None
 
     def throughput_over_time(self, bucket_seconds: float = 5.0) -> List[tuple]:
         """Committed-transaction rate over time, aggregated across shards."""
@@ -759,6 +1034,5 @@ class ShardedBlockchain:
             if record.outcome is DistributedTxOutcome.COMMITTED and record.completed_at is not None:
                 commits.append((record.completed_at, 1.0))
         from repro.sim.monitor import TimeSeries
-        series = TimeSeries("commits")
-        series.samples = commits
+        series = TimeSeries.from_samples("commits", commits)
         return series.bucketed_rate(bucket_seconds, until=self.sim.now)

@@ -48,6 +48,9 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: str = ""
     paper_reference: str = ""
+    #: Free-form per-run extras that do not fit the tabular shape (e.g. the
+    #: per-strategy migration counts of the reconfiguration experiment).
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         self.rows.append(values)

@@ -12,6 +12,20 @@ from repro.crypto.hashing import digest_of
 _TX_COUNTER = itertools.count()
 
 
+def rebase_tx_counter(start: int = 0) -> None:
+    """Rebase the process-global transaction-id counter (harness use only).
+
+    Transaction ids embed the counter, and the id's *length* can leak into
+    modelled quantities (a 2PL lock entry stores the holder's tx id in shard
+    state, so ``StateStore.size_bytes`` — and any state-transfer delay
+    derived from it — varies with the digit count).  Benchmarks that compare
+    runs executed at different points of one process pin the counter before
+    each run so "same seed" means "same run" exactly.
+    """
+    global _TX_COUNTER
+    _TX_COUNTER = itertools.count(start)
+
+
 class TxStatus(str, Enum):
     """Lifecycle status of a transaction."""
 

@@ -21,10 +21,16 @@ from repro.sharding.sizing import (
 )
 from repro.sharding.committee import Committee, CommitteeAssignment
 from repro.sharding.assignment import assign_committees, permutation_from_seed
-from repro.sharding.beacon_protocol import BeaconProtocol, BeaconProtocolResult
+from repro.sharding.beacon_protocol import (
+    BeaconProtocol,
+    BeaconProtocolResult,
+    derive_epoch_randomness,
+)
 from repro.sharding.reconfiguration import (
+    STRATEGIES,
     ReconfigurationPlan,
     plan_reconfiguration,
+    state_transfer_seconds,
     swap_batch_size,
 )
 from repro.sharding.cross_shard import (
@@ -45,8 +51,11 @@ __all__ = [
     "permutation_from_seed",
     "BeaconProtocol",
     "BeaconProtocolResult",
+    "derive_epoch_randomness",
+    "STRATEGIES",
     "ReconfigurationPlan",
     "plan_reconfiguration",
+    "state_transfer_seconds",
     "swap_batch_size",
     "cross_shard_probability",
     "expected_shards_touched",

@@ -79,9 +79,14 @@ class _BeaconNode(SimProcess):
         super().__init__(node_id, sim, network, region=region)
         self.q_bits = q_bits
         self.costs = costs
+        # The enclave draws from a stream forked off the protocol's seeded
+        # simulator (not just the enclave id), so different protocol seeds —
+        # and hence different epochs of the live system — lock in different
+        # randomness.
         self.enclave = RandomnessBeaconEnclave(
             enclave_id=f"beacon-{node_id}", q_bits=q_bits,
             time_source=lambda: self.sim.now,
+            rng=sim.fork_rng(f"beacon-enclave-{node_id}"),
         )
         self.received: Dict[int, List[BeaconCertificate]] = {}
         self.locked: Dict[int, int] = {}
@@ -206,6 +211,26 @@ class BeaconProtocol:
         """True if every node locked the same rnd for the epoch."""
         values = {node.locked.get(epoch) for node in self.nodes}
         return len(values) == 1 and None not in values
+
+
+def derive_epoch_randomness(network_size: int, epoch: int, seed: int = 0,
+                            q_bits: Optional[int] = None,
+                            delta: Optional[float] = None,
+                            latency_model=None,
+                            max_rounds: int = 64) -> BeaconProtocolResult:
+    """Run one epoch of the randomness protocol in an isolated sub-simulation.
+
+    The live epoch lifecycle of :class:`repro.core.system.ShardedBlockchain`
+    calls this at every boundary: the protocol runs over its *own* simulator
+    and network (so the deployment's event stream and RNG trace are
+    untouched), and the caller uses ``result.rnd`` to seed the next
+    committee assignment and ``result.elapsed_seconds`` as the modelled
+    duration of randomness generation.  Deterministic in ``(seed, epoch)``.
+    """
+    protocol = BeaconProtocol(network_size=network_size, q_bits=q_bits,
+                              delta=delta, latency_model=latency_model,
+                              seed=seed * 1_000_003 + epoch)
+    return protocol.run_epoch(epoch=epoch, max_rounds=max_rounds)
 
 
 def analytical_running_time(network_size: int, delta: float,

@@ -3,8 +3,16 @@
 The sharded blockchain works in epochs (Section 5.1): every epoch starts with
 distributed randomness generation, followed by committee (re-)assignment and
 the batched migration of transitioning nodes.  :class:`EpochSchedule` tracks
-the sequence of assignments and the transition windows, and is used by the
-top-level system and the reconfiguration experiments.
+the sequence of assignments and the transition windows.
+
+This schedule is *live*: every :class:`repro.core.system.ShardedBlockchain`
+carries one.  Epoch 0 (the initial assignment) is recorded at construction;
+each transition — automatic at an ``epoch_duration`` boundary or explicit via
+``perform_reconfiguration`` — appends the next epoch's record when the beacon
+randomness is locked in and marks it complete when the last transitioning
+node has finished its state transfer and joined its new committee, so
+``transition_completed_at`` brackets exactly the window in which committees
+ran with absent members.
 """
 
 from __future__ import annotations
@@ -60,6 +68,11 @@ class EpochSchedule:
         if not self.records:
             raise ShardingError("no epoch has started yet")
         self.records[-1].transition_completed_at = now
+
+    @property
+    def transition_in_progress(self) -> bool:
+        """True while the current epoch's migration is still executing."""
+        return bool(self.records) and self.records[-1].transition_completed_at is None
 
     def next_epoch_due(self, now: float) -> bool:
         """True if the epoch duration has elapsed since the current epoch started."""

@@ -9,9 +9,15 @@ committee at a time, which keeps every committee above its quorum threshold
 throughout the transition.
 
 This module computes the migration plan (which nodes move in which batch) and
-the safety/liveness trade-off of the batch size; the throughput-over-time
-behaviour is reproduced by the Figure-12 experiment on top of the sharded
-system.
+the safety/liveness trade-off of the batch size.  The plan is not merely
+analytical: :meth:`repro.core.system.ShardedBlockchain.perform_reconfiguration`
+(and the automatic epoch loop behind ``auto_reconfigure``) *executes* it as
+real membership changes — each :class:`MigrationStep`'s nodes leave their old
+committee, pay a state-transfer delay derived from the destination shard's
+actual state size via :func:`state_transfer_seconds`, and then join and serve
+in their new committee.  The throughput-over-time behaviour of the two
+strategies is reproduced by the Figure-12 experiment on top of that live
+path.
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ from typing import Dict, List
 from repro.errors import ShardingError
 from repro.sharding.committee import CommitteeAssignment
 from repro.sharding.sizing import transition_failure_probability
+
+#: The reconfiguration strategies understood by ``plan_reconfiguration`` and
+#: the live epoch machinery (one shared definition, validated in one place).
+STRATEGIES = ("swap-all", "swap-batch")
 
 
 def swap_batch_size(committee_size: int) -> int:
@@ -94,10 +104,9 @@ class ReconfigurationPlan:
         remaining nodes cannot form a quorum and the shard stalls
         (the liveness analysis of Section 5.3).
         """
+        departures = self.max_concurrent_departures()
         for committee in self.old_assignment.committees:
-            f = committee.fault_tolerance(resilience)
-            departures = self.max_concurrent_departures().get(committee.shard_id, 0)
-            if departures > f:
+            if departures.get(committee.shard_id, 0) > committee.fault_tolerance(resilience):
                 return False
         return True
 
@@ -107,7 +116,7 @@ def plan_reconfiguration(old_assignment: CommitteeAssignment,
                          strategy: str = "swap-batch",
                          batch_size: int | None = None) -> ReconfigurationPlan:
     """Build the migration plan from the old to the new assignment."""
-    if strategy not in ("swap-all", "swap-batch"):
+    if strategy not in STRATEGIES:
         raise ShardingError(f"unknown reconfiguration strategy {strategy!r}")
     transitioning = new_assignment.transitioning_nodes(old_assignment)
     old_map = old_assignment.membership_map()

@@ -55,6 +55,22 @@ class TimeSeries:
         self._sum = 0.0
         self._rng = random.Random(name) if max_samples is not None else None
 
+    @classmethod
+    def from_samples(cls, name: str, samples: Sequence[Tuple[float, float]]) -> "TimeSeries":
+        """Build an exact series from pre-collected ``(time, value)`` samples.
+
+        This is the supported way to wrap an existing sample list (e.g. to
+        reuse :meth:`bucketed_rate`): the running ``_count``/``_sum``
+        aggregates are initialised from the samples, so ``count()``,
+        ``total()`` and ``mean()`` stay exact.  Assigning ``.samples``
+        directly bypasses the aggregates and is not supported.
+        """
+        series = cls(name)
+        series.samples = list(samples)
+        series._count = len(series.samples)
+        series._sum = sum(value for _, value in series.samples)
+        return series
+
     def record(self, time: float, value: float) -> None:
         self._count += 1
         self._sum += value
@@ -68,14 +84,10 @@ class TimeSeries:
     # ------------------------------------------------------------- aggregates
     def count(self) -> int:
         """Number of samples recorded (exact, even in bounded mode)."""
-        # ``samples`` may have been assigned directly (legacy idiom used to
-        # reuse bucketed_rate); honour whichever is larger.
-        return max(self._count, len(self.samples))
+        return self._count
 
     def total(self) -> float:
         """Sum of recorded values (exact, even in bounded mode)."""
-        if self._count == 0 and self.samples:
-            return sum(value for _, value in self.samples)
         return self._sum
 
     def values(self) -> List[float]:
@@ -85,10 +97,7 @@ class TimeSeries:
         return [time for time, _ in self.samples]
 
     def mean(self) -> float:
-        if self._count:
-            return self._sum / self._count
-        values = self.values()
-        return statistics.fmean(values) if values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     def percentile(self, pct: float) -> float:
         """Percentile over retained samples (exact unbounded, reservoir-approx bounded)."""
@@ -182,8 +191,8 @@ class ThroughputTracker:
     def over_time(self, bucket_seconds: float, until: Optional[float] = None) -> List[Tuple[float, float]]:
         """Throughput time series in buckets of ``bucket_seconds``."""
         records = self.commits if self.max_samples is None else self._bucket_records()
-        series = TimeSeries("commits")
-        series.samples = [(time, float(count)) for time, count in records]
+        series = TimeSeries.from_samples(
+            "commits", [(time, float(count)) for time, count in records])
         return series.bucketed_rate(bucket_seconds, until=until)
 
 

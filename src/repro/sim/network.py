@@ -115,6 +115,7 @@ class Network:
         self._regions: Dict[int, str] = {}
         self._blocked_links: Set[Tuple[int, int]] = set()
         self._crashed: Set[int] = set()
+        self._departed: Set[int] = set()
         self._partition: Optional[Dict[int, int]] = None
         self._msg_counter = itertools.count()
         self._rng = sim.fork_rng("network")
@@ -129,6 +130,19 @@ class Network:
             raise NetworkError(f"node {node_id} is already registered")
         self._nodes[node_id] = node
         self._regions[node_id] = region
+
+    def unregister(self, node_id: int) -> None:
+        """Remove a node (e.g. a replica leaving its committee at an epoch
+        boundary).  Unlike a node that never existed — sending to one is a
+        programming error and raises — a *departed* node is a legitimate
+        stale destination: messages to it are admitted and then counted as
+        drops.  The departure is graceful: messages the node had already
+        handed to the network layer (queued sends) still go out, so a block
+        proposal signed just before leaving is not torn in half.
+        """
+        self._nodes.pop(node_id, None)
+        self._regions.pop(node_id, None)
+        self._departed.add(node_id)
 
     def region_of(self, node_id: int) -> str:
         return self._regions.get(node_id, "local")
@@ -204,6 +218,10 @@ class Network:
     def send(self, src: int, dst: int, message: Message) -> None:
         """Send ``message`` from ``src`` to ``dst`` with modelled delay."""
         if dst not in self._nodes:
+            if dst in self._departed:
+                if self._admit(src, dst, message) is not None:
+                    self.stats.messages_dropped += 1  # recorded, then dropped
+                return
             raise NetworkError(f"cannot send to unknown node {dst}")
         delay = self._admit(src, dst, message)
         if delay is None:
@@ -234,7 +252,7 @@ class Network:
         cohorts: Dict[float, list] = {}
         unknown: Optional[int] = None
         for dst in dst_ids:
-            if dst not in self._nodes:
+            if dst not in self._nodes and dst not in self._departed:
                 # Messages to earlier recipients must still be delivered (the
                 # per-send path had already scheduled them before raising).
                 unknown = dst

@@ -67,6 +67,13 @@ class SimProcess:
         self.crashed = False
         self._cpu_free_at = 0.0
         self._queue_depth: Dict[str, int] = {}
+        #: Request messages admitted to the queue but not yet processed,
+        #: keyed by message object identity.  Only populated when
+        #: ``track_requests`` is enabled (nodes that may gracefully leave a
+        #: committee mid-run hand these off instead of stranding them); the
+        #: default path pays a single predictable branch per message.
+        self.track_requests = False
+        self._inbound_requests: Dict[int, Any] = {}
         network.register(self, region=region)
 
     # ----------------------------------------------------------------- queues
@@ -94,12 +101,16 @@ class SimProcess:
             )
             return
         self._queue_depth[key] = self._queue_depth.get(key, 0) + 1
+        if self.track_requests and message.channel == REQUEST_CHANNEL:
+            self._inbound_requests[id(message)] = message.payload
         cost = self.message_cost(message)
         self.cpu_execute(cost, self._process_message, message, key)
 
     def _process_message(self, message: Message, key: str) -> None:
         self._queue_depth[key] = self._queue_depth.get(key, 1) - 1
         self.stats.messages_processed += 1
+        if self.track_requests:
+            self._inbound_requests.pop(id(message), None)
         if not self.crashed:
             self.handle_message(message)
 

@@ -149,23 +149,56 @@ class TestShardedBlockchain:
         assert high >= low
 
     def test_reconfiguration_swap_all_hurts_more_than_swap_batch(self):
-        def run_with(strategy):
-            system = small_system(num_shards=2, committee_size=5, use_reference=False, seed=5)
-            attach_clients(system, count=3, outstanding=6)
-            if strategy:
-                system.perform_reconfiguration(strategy, at_time=10.0, state_transfer_seconds=8.0)
-            return system.run(30.0).committed_transactions
+        """The real migration path shows the paper's Figure-12 ordering.
 
-        baseline = run_with(None)
-        swap_all = run_with("swap-all")
-        swap_batch = run_with("swap-batch")
+        Under a fixed open-loop load, swap-all (every transitioning node
+        leaves at once, committees lose their quorum) troughs during the
+        transfer window while swap-batch tracks the baseline; membership
+        actually changes in both cases.
+        """
+        from repro.core.driver import OpenLoopDriver
+
+        def run_with(strategy):
+            system = ShardedBlockchain(ShardedSystemConfig(
+                num_shards=3, committee_size=4, protocol="AHL+",
+                use_reference_committee=False, benchmark="smallbank", num_keys=200,
+                consensus_overrides=dict(FAST_OVERRIDES), prepare_timeout=8.0, seed=0))
+            driver = OpenLoopDriver(system, rate_tps=25.0).start()
+            if strategy:
+                system.perform_reconfiguration(strategy, at_time=10.0,
+                                               state_transfer_seconds=8.0,
+                                               batch_interval=2.0)
+            system.run(32.0)
+            series = system.throughput_over_time(bucket_seconds=2.0)
+            trough = min(rate for time_s, rate in series if 10.0 <= time_s <= 26.0)
+            moved = sum(t.nodes_moved for t in system.epoch_transitions)
+            return driver.stats.committed, trough, moved
+
+        baseline, baseline_trough, _ = run_with(None)
+        swap_all, all_trough, all_moved = run_with("swap-all")
+        swap_batch, batch_trough, batch_moved = run_with("swap-batch")
+        # Real migrations ran in both strategies (swap-batch staggers its
+        # batches, so within the short horizon it may still be mid-plan).
+        assert all_moved > 0 and batch_moved > 0
+        # swap-all loses quorum for the transfer window: a deep trough and
+        # fewer completions despite identical arrivals.
+        assert all_trough <= 0.5 * baseline_trough
         assert swap_all < baseline
-        assert swap_batch >= swap_all
+        # swap-batch keeps every committee live and tracks the baseline.
+        assert batch_trough >= 0.6 * baseline_trough
+        assert swap_batch >= 0.9 * baseline
 
     def test_unknown_reconfiguration_strategy_rejected(self):
         system = small_system()
         with pytest.raises(ConfigurationError):
             system.perform_reconfiguration("teleport", at_time=1.0)
+
+    def test_reconfiguration_in_the_past_rejected(self):
+        system = small_system()
+        system.sim.schedule(2.0, lambda: None)
+        system.sim.run()
+        with pytest.raises(ConfigurationError):
+            system.perform_reconfiguration("swap-batch", at_time=1.0)
 
 
 class TestBaselinesAndPerfModel:

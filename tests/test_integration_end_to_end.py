@@ -62,7 +62,17 @@ class TestConsortiumScenario:
                 total += shard.honest_observer().state.get(key, 0)
             return total
 
-        assert total_balance() == config.num_keys * 10_000
+        # A cut taken mid-way through a cross-shard commit (one shard has
+        # applied its deltas, the other has not yet) is transiently
+        # unbalanced by design; conservation is the *quiescent* invariant.
+        # Step the clock in small increments until a cut with no half-applied
+        # commit comes around.
+        expected = config.num_keys * 10_000
+        for _ in range(40):
+            if total_balance() == expected:
+                break
+            system.run(0.25)
+        assert total_balance() == expected
 
     def test_no_locks_left_behind_after_the_run_completes(self):
         config = ShardedSystemConfig(
