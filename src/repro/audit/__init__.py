@@ -1,0 +1,13 @@
+"""Run-time safety auditing for sharded-system runs.
+
+:class:`~repro.audit.auditor.SafetyAuditor` attaches to a live
+:class:`~repro.core.system.ShardedBlockchain` and checks the global
+invariants the paper's design promises to keep *under attack* — committed-
+prefix agreement inside every committee, cross-shard commit/abort atomicity,
+money conservation at quiescence, one digest per attested slot, and per-epoch
+quorum margins.
+"""
+
+from repro.audit.auditor import AuditReport, AuditViolation, SafetyAuditor
+
+__all__ = ["AuditReport", "AuditViolation", "SafetyAuditor"]

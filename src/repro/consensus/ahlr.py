@@ -107,7 +107,7 @@ class AhlrReplica(AhlReplica):
             return  # executed and pruned below a stable checkpoint
         if payload.view != self.view or payload.leader != self.leader_id(payload.view):
             return
-        if payload.attestation is not None and not payload.attestation.verify():
+        if not self._attestation_ok(payload.attestation):
             return
         instance = self._get_instance(payload.seq)
         if instance.block_digest is not None and payload.block_digest != instance.block_digest:

@@ -171,6 +171,12 @@ class _Instance:
     executed: bool = False
     proposed_at: float = 0.0
     timer: Any = None
+    #: Votes that arrived before the pre-prepare fixed this slot's digest,
+    #: keyed (phase, replica) -> claimed digest (first claim wins, as a set
+    #: add would have).  They are absorbed — and digest-checked — once the
+    #: pre-prepare arrives: counting them blindly would let an equivocating
+    #: replica's conflicting vote stand in for support of the real block.
+    early_votes: Dict[tuple, str] = field(default_factory=dict)
 
 
 class ConsensusReplica(SimProcess):
@@ -729,9 +735,8 @@ class ConsensusReplica(SimProcess):
             return
         if payload.leader != self.expected_proposer(payload.seq, payload.view):
             return
-        if self.config.use_attested_log and payload.attestation is not None:
-            if not payload.attestation.verify():
-                return
+        if not self._attestation_ok(payload.attestation):
+            return
         instance = self._get_instance(payload.seq)
         if instance.pre_prepared and instance.block_digest != payload.block.header.merkle_root:
             # Conflicting pre-prepare for the same slot: ignore (equivocation).
@@ -741,12 +746,51 @@ class ConsensusReplica(SimProcess):
         instance.pre_prepared = True
         instance.prepares.add(payload.leader)
         instance.proposed_at = payload.block.header.timestamp
+        self._absorb_early_votes(instance)
         self._start_timer(instance)
         self._send_prepare(instance)
         self._check_prepared(instance)
 
+    def _attestation_ok(self, attestation: Any) -> bool:
+        """Whether a consensus message's attested-log proof admits it.
+
+        Under the AHL family every pre-prepare, prepare and commit must carry
+        a valid attestation: the enclave refuses to bind a second digest to a
+        slot, so a message *without* a proof is exactly what an equivocating
+        (or rolled-back, still-recovering) host produces — accepting it would
+        hand back the equivocation power the attested log removes.  The seed
+        implementation only verified attestations that happened to be present,
+        which let an attestation-less conflicting vote through; the
+        system-wide adversary runs flushed that out.
+        """
+        if not self.config.use_attested_log:
+            return True
+        return attestation is not None and attestation.verify()
+
+    def _absorb_early_votes(self, instance: _Instance) -> None:
+        """Count buffered votes now that the pre-prepare fixed the digest.
+
+        Votes whose claimed digest conflicts with the agreed block are
+        discarded here — the same treatment a post-pre-prepare conflicting
+        vote gets on arrival.
+        """
+        if not instance.early_votes:
+            return
+        early, instance.early_votes = instance.early_votes, {}
+        for (phase, replica), digest in early.items():
+            if digest != instance.block_digest:
+                continue
+            if phase == "prepare":
+                instance.prepares.add(replica)
+            else:
+                instance.commits.add(replica)
+
     def _send_prepare(self, instance: _Instance) -> None:
         if self.byzantine is not None and self.byzantine.suppress_vote(self, "prepare"):
+            return
+        instance.prepares.add(self.node_id)
+        if self.byzantine is not None and self.byzantine.equivocates():
+            self._send_vote_per_recipient("prepare", instance)
             return
         digest = self.byzantine.mutate_digest(self, instance.block_digest) \
             if self.byzantine is not None else instance.block_digest
@@ -755,7 +799,6 @@ class ConsensusReplica(SimProcess):
             view=self.view, seq=instance.seq, block_digest=digest,
             replica=self.node_id, attestation=attestation,
         )
-        instance.prepares.add(self.node_id)
         self.cpu_execute(self._signing_cost(), self._dispatch_vote, m.KIND_PREPARE, payload)
 
     def _dispatch_vote(self, kind: str, payload: Any) -> None:
@@ -765,17 +808,67 @@ class ConsensusReplica(SimProcess):
         else:
             self._broadcast_consensus(kind, payload)
 
+    def _vote_recipients(self) -> List[int]:
+        """Destinations of a prepare/commit vote under the communication pattern."""
+        if self.config.leader_aggregation and not self.is_leader:
+            return [self.leader_id()]
+        return self.peers()
+
+    def _send_vote_per_recipient(self, phase: str, instance: _Instance) -> None:
+        """Byzantine vote path: the strategy picks a digest per destination.
+
+        The host asks its enclave to attest every digest it wants to claim;
+        under the AHL family the enclave binds the slot to the first digest
+        and refuses the rest (``rejected_appends`` counts the refusals), so
+        conflicting votes leave the host *without* a valid proof and honest
+        replicas drop them at :meth:`_attestation_ok`.  Under plain PBFT
+        there is no enclave, both digests go out fully signed, and every
+        honest recipient pays the verification before discarding the
+        mismatch — the asymmetry Figure 8 (right) measures.
+        """
+        seq = instance.seq
+        kind = m.KIND_PREPARE if phase == "prepare" else m.KIND_COMMIT
+        pairs: List[tuple] = []
+        for recipient in self._vote_recipients():
+            digest = self.byzantine.vote_digest_for(self, phase, recipient,
+                                                    instance.block_digest)
+            attestation = self._attest(phase, seq, digest)
+            if phase == "prepare":
+                payload: Any = m.Prepare(
+                    view=self.view, seq=seq, block_digest=digest,
+                    replica=self.node_id, attestation=attestation,
+                )
+            else:
+                payload = m.Commit(
+                    view=self.view, seq=seq, block_digest=digest or "",
+                    replica=self.node_id, attestation=attestation,
+                )
+            pairs.append((recipient, payload))
+        self.cpu_execute(self._signing_cost(), self._send_vote_pairs, kind, pairs)
+
+    def _send_vote_pairs(self, kind: str, pairs: List[tuple]) -> None:
+        for recipient, payload in pairs:
+            self.send(recipient, self._consensus_message(kind, payload))
+
     def _handle_prepare(self, payload: m.Prepare) -> None:
         if payload.seq <= self._gc_horizon:
             return  # executed and pruned below a stable checkpoint
         if payload.view != self.view:
             return
+        if not self._attestation_ok(payload.attestation):
+            return
         instance = self._get_instance(payload.seq)
-        if instance.block_digest is not None and payload.block_digest != instance.block_digest:
+        if instance.block_digest is None:
+            # No pre-prepare yet: park the vote with its claimed digest and
+            # absorb it (digest-checked) when the slot's digest is fixed.
+            # Counting it into the bare replica set — as the seed did — let a
+            # conflicting-digest vote masquerade as support for the block
+            # that later won the slot.
+            instance.early_votes.setdefault(("prepare", payload.replica),
+                                            payload.block_digest)
+            return
+        if payload.block_digest != instance.block_digest:
             return  # conflicting vote; ignore
-        if self.config.use_attested_log and payload.attestation is not None:
-            if not payload.attestation.verify():
-                return
         instance.prepares.add(payload.replica)
         self._check_prepared(instance)
 
@@ -793,12 +886,17 @@ class ConsensusReplica(SimProcess):
     def _send_commit(self, instance: _Instance) -> None:
         if self.byzantine is not None and self.byzantine.suppress_vote(self, "commit"):
             return
+        instance.commits.add(self.node_id)
+        if self.byzantine is not None and self.byzantine.equivocates():
+            # The strategy is consulted per destination on commit votes too —
+            # the seed only exposed equivocation on the prepare phase.
+            self._send_vote_per_recipient("commit", instance)
+            return
         attestation = self._attest("commit", instance.seq, instance.block_digest)
         payload = m.Commit(
             view=self.view, seq=instance.seq, block_digest=instance.block_digest or "",
             replica=self.node_id, attestation=attestation,
         )
-        instance.commits.add(self.node_id)
         self.cpu_execute(self._signing_cost(), self._dispatch_vote, m.KIND_COMMIT, payload)
 
     def _handle_commit(self, payload: m.Commit) -> None:
@@ -806,12 +904,15 @@ class ConsensusReplica(SimProcess):
             return  # executed and pruned below a stable checkpoint
         if payload.view != self.view:
             return
-        instance = self._get_instance(payload.seq)
-        if instance.block_digest is not None and payload.block_digest != instance.block_digest:
+        if not self._attestation_ok(payload.attestation):
             return
-        if self.config.use_attested_log and payload.attestation is not None:
-            if not payload.attestation.verify():
-                return
+        instance = self._get_instance(payload.seq)
+        if instance.block_digest is None:
+            instance.early_votes.setdefault(("commit", payload.replica),
+                                            payload.block_digest)
+            return
+        if payload.block_digest != instance.block_digest:
+            return
         instance.commits.add(payload.replica)
         self._check_committed(instance)
 
@@ -1039,6 +1140,7 @@ class ConsensusReplica(SimProcess):
                 self._cancel_timer(instance)
                 instance.prepares.clear()
                 instance.commits.clear()
+                instance.early_votes.clear()
                 instance.pre_prepared = False
                 instance.prepared = False
                 instance.view = new_view

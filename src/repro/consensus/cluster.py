@@ -44,6 +44,16 @@ from repro.sim.network import Message, Network, REQUEST_CHANNEL
 from repro.sim.node import SimProcess
 from repro.sim.simulator import Simulator
 
+def member_node_id(shard_id: int, slot: int) -> int:
+    """Physical node id of a committee's ``slot``-th member (slots never reused).
+
+    The single definition of the cluster's id scheme — the adversary engine
+    must predict joiners' ids before their replicas exist, so every site
+    (construction, admission, prediction) shares this formula.
+    """
+    return shard_id * 10_000 + slot
+
+
 #: Registry of protocol name -> (replica class, default-config factory).
 PROTOCOLS: Dict[str, tuple] = {
     "HL": (PbftReplica, pbft_config),
@@ -252,7 +262,7 @@ class ConsensusCluster:
         self._registry_factory = registry_factory or self._default_registry
         self._regions = list(regions) if regions else None
 
-        node_ids = list(range(shard_id * 10_000, shard_id * 10_000 + n))
+        node_ids = [member_node_id(shard_id, slot) for slot in range(n)]
         if regions:
             region_map = assign_regions_round_robin(node_ids, list(regions))
             self._client_region = list(regions)[0]
@@ -294,6 +304,14 @@ class ConsensusCluster:
         #: real outgoing committee serves its state to the incoming one, so
         #: joiners with no active peer install from the departed state.
         self._state_escrow: Optional[ConsensusReplica] = None
+        #: Times ``honest_observer`` had to fall back to a non-honest or
+        #: crashed member because no live honest replica existed (see its
+        #: docstring); surfaced so result consumers know the committee's
+        #: metrics passed through an untrusted reporter.
+        self.degraded_observer_reads = 0
+        #: Callbacks invoked with each replica admitted at an epoch boundary
+        #: (the safety auditor uses this to start observing joiners).
+        self._member_admitted_callbacks: List[Callable[[ConsensusReplica], None]] = []
 
     @staticmethod
     def _default_registry() -> ChaincodeRegistry:
@@ -319,11 +337,23 @@ class ConsensusCluster:
         scenarios individual replicas (typically the leader) can lag behind
         the committed prefix, and the committee's throughput is what a quorum
         achieved, not what the slowest member saw.
+
+        When *no* honest replica is up (every honest member crashed or is
+        mid-state-transfer), the read is **degraded**: it falls back to the
+        most-progressed non-crashed member — Byzantine or not — rather than
+        blindly to ``replicas[0]``, which could itself be crashed (reporting
+        a frozen chain) or Byzantine (skewing committee metrics and routing
+        ``leader()`` through the attacker).  Degraded reads are counted in
+        ``degraded_observer_reads`` so harnesses can surface that the
+        committee's metrics came from an untrusted or stalled member instead
+        of silently folding them into the results.
         """
         honest = [r for r in self.replicas if r.byzantine is None and not r.crashed]
-        if not honest:
-            return self.replicas[0]
-        return max(honest, key=lambda replica: replica.last_executed)
+        if honest:
+            return max(honest, key=lambda replica: (replica.last_executed, -replica.node_id))
+        self.degraded_observer_reads += 1
+        fallback = [r for r in self.replicas if not r.crashed] or self.replicas
+        return max(fallback, key=lambda replica: (replica.last_executed, -replica.node_id))
 
     def leader(self) -> ConsensusReplica:
         observer = self.honest_observer()
@@ -463,6 +493,21 @@ class ConsensusCluster:
                 break
         return replica
 
+    def next_member_id(self) -> int:
+        """Node id the next :meth:`admit_member` call will assign.
+
+        Exposed so callers that must act *before* the replica object exists —
+        the adversary engine corrupts a joiner by adding its id to the shard
+        strategy's corrupted set, which each replica consults once at
+        construction — can know the id without reaching into the slot
+        counter.
+        """
+        return member_node_id(self.shard_id, self._next_member_slot)
+
+    def on_member_admitted(self, callback: Callable[[ConsensusReplica], None]) -> None:
+        """Subscribe to future :meth:`admit_member` calls (epoch joiners)."""
+        self._member_admitted_callbacks.append(callback)
+
     def admit_member(self) -> int:
         """A transitioning node joins the committee (epoch transition).
 
@@ -474,7 +519,7 @@ class ConsensusCluster:
         """
         slot = self._next_member_slot
         self._next_member_slot += 1
-        node_id = self.shard_id * 10_000 + slot
+        node_id = member_node_id(self.shard_id, slot)
         self._membership_changed = True
         region = self._regions[slot % len(self._regions)] if self._regions else "local"
         committee_ids = self.committee + [node_id]
@@ -494,6 +539,8 @@ class ConsensusCluster:
         self.network.crash(node_id)
         self.replicas.append(replica)
         self._enable_commit_fanout()
+        for callback in self._member_admitted_callbacks:
+            callback(replica)
         return replica.node_id
 
     def activate_member(self, node_id: int) -> None:
@@ -557,26 +604,32 @@ class ConsensusCluster:
         self.clients.extend(clients)
         return clients
 
-    def submit(self, transactions: Sequence[Transaction], to: Optional[int] = None) -> None:
+    def submit(self, transactions: Sequence[Transaction], to: Optional[int] = None,
+               attempt: int = 0) -> None:
         """Submit transactions as a client request delivered to one replica.
 
         The request goes through the replica's normal request path (so it is
         forwarded/broadcast according to the protocol), without requiring a
         separate client process.
 
-        On a cluster whose membership has changed, the default target is the
-        first *active* member (a client retries until somebody answers); if
-        the whole committee is mid-transfer the request is parked and
-        replayed on the next activation.  Before any membership change this
-        is byte-for-byte the seed behaviour (first member, active or not).
+        ``attempt`` is the caller's retry counter: a re-drive of lost work
+        (``attempt > 0``) rotates deterministically through the *active*
+        members instead of re-pinning to the same first member — which may be
+        exactly the Byzantine node that swallowed the original request, in
+        which case retrying it forever loses liveness.  ``attempt=0`` (every
+        first submission) keeps the seed's behaviour byte-for-byte: the first
+        member before any membership change, the first active member after
+        one; if the whole committee is mid-transfer the request is parked and
+        replayed on the next activation.
         """
         target = to if to is not None else self.committee[0]
-        if to is None and self._membership_changed:
-            target = next((replica.node_id for replica in self.replicas
-                           if not replica.crashed), None)
-            if target is None:
+        if to is None and (self._membership_changed or attempt):
+            active = [replica.node_id for replica in self.replicas
+                      if not replica.crashed]
+            if not active:
                 self._parked_requests.append(tuple(transactions))
                 return
+            target = active[attempt % len(active)]
         request = ClientRequest(
             client_id="direct", request_id=next(self._client_id_counter),
             transactions=tuple(transactions), submitted_at=self.sim.now,

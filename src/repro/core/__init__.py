@@ -9,6 +9,7 @@ discrete-event simulation, so throughput, abort rates and reconfiguration
 behaviour can be measured end to end.
 """
 
+from repro.core.adversary import AdversaryConfig, AdversaryState
 from repro.core.config import ShardedSystemConfig
 from repro.core.system import EpochTransitionStats, ShardedBlockchain, ShardedRunResult
 from repro.core.client_api import ShardedClient
@@ -16,6 +17,8 @@ from repro.core.driver import DriverStats, OpenLoopDriver, attach_open_loop_driv
 from repro.core.splitters import SmallbankSplitter, KVStoreSplitter, TransactionSplitter
 
 __all__ = [
+    "AdversaryConfig",
+    "AdversaryState",
     "ShardedSystemConfig",
     "ShardedBlockchain",
     "ShardedRunResult",

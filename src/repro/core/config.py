@@ -57,6 +57,14 @@ class ShardedSystemConfig:
     #: consulted at the coordination protocol's decision points.  None — the
     #: default — keeps the message flow bit-identical to the seed.
     fault_scenario: Any = None
+    #: Byzantine adversary (a :class:`repro.core.adversary.AdversaryConfig`)
+    #: placing seed-deterministic corruptions per committee — at most each
+    #: committee's ``f`` — and optionally scheduling a mid-run TEE rollback
+    #: attack.  Composes with ``fault_scenario`` and the epoch lifecycle
+    #: (corruption follows logical nodes across migrations).  None — the
+    #: default — places nothing and leaves the run bit-identical to the
+    #: honest path.
+    adversary: Any = None
     #: When set, every monitor series/tracker switches to bounded storage
     #: (running count/sum + N-sample reservoir) instead of keeping one entry
     #: per commit — pair with retain_tx_records=False and a "headers" ledger
@@ -112,6 +120,12 @@ class ShardedSystemConfig:
             raise ConfigurationError("state_bandwidth_bps must be positive")
         if self.swap_batch_interval < 0:
             raise ConfigurationError("swap_batch_interval must be non-negative")
+        if self.adversary is not None:
+            from repro.core.adversary import AdversaryConfig
+
+            if not isinstance(self.adversary, AdversaryConfig):
+                raise ConfigurationError(
+                    "adversary must be an AdversaryConfig (or None)")
 
     @property
     def total_nodes(self) -> int:

@@ -75,6 +75,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.consensus.base import CommitEvent
 from repro.consensus.cluster import ConsensusCluster
+from repro.core.adversary import AdversaryState
 from repro.core.config import ShardedSystemConfig
 from repro.core.splitters import splitter_for
 from repro.errors import ConfigurationError
@@ -323,12 +324,20 @@ class ShardedBlockchain:
         self._cohort_relay = True
 
         self.assignment = self._form_committees()
+        #: Armed Byzantine adversary (see ``ShardedSystemConfig.adversary``):
+        #: corruption placement happens before the clusters are built because
+        #: each replica snapshots its shard's strategy at construction.
+        self.adversary: Optional[AdversaryState] = (
+            AdversaryState.place(config, self.assignment)
+            if config.adversary is not None else None)
         self.shards: Dict[int, ConsensusCluster] = {}
         for shard_id in range(config.num_shards):
             self.shards[shard_id] = self._build_shard_cluster(shard_id)
         self.reference: Optional[ConsensusCluster] = None
         if config.use_reference_committee:
             self.reference = self._build_reference_cluster()
+        if self.adversary is not None:
+            self.adversary.arm(self)
         self._populate_states()
         self._attach_observers()
 
@@ -380,6 +389,8 @@ class ShardedBlockchain:
             config_overrides=dict(self.config.consensus_overrides),
             registry_factory=self._benchmark_registry,
             regions=self.config.regions,
+            byzantine=(self.adversary.strategy_for(shard_id)
+                       if self.adversary is not None else None),
             seed=self.config.seed + shard_id,
             shard_id=shard_id,
             sim=self.sim,
@@ -399,6 +410,8 @@ class ShardedBlockchain:
             config_overrides=dict(self.config.consensus_overrides),
             registry_factory=registry_factory,
             regions=self.config.regions,
+            byzantine=(self.adversary.reference_strategy
+                       if self.adversary is not None else None),
             seed=self.config.seed + REFERENCE_SHARD_ID,
             shard_id=REFERENCE_SHARD_ID,
             sim=self.sim,
@@ -516,7 +529,9 @@ class ShardedBlockchain:
         shard_id = record.shards[0]
         self.coordinator.mark_redriven(record)
         record.prepare_deadline = self.sim.now + self.config.prepare_timeout
-        self._relay(lambda: self.shards[shard_id].submit([record.transaction]))
+        attempt = record.redrives
+        self._relay(lambda: self.shards[shard_id].submit([record.transaction],
+                                                         attempt=attempt))
         self.sim.schedule(self.config.prepare_timeout,
                           self._check_single_shard_deadline, tx_id)
 
@@ -536,7 +551,8 @@ class ShardedBlockchain:
             self._send_prepares(record)
 
         self._watch(begin, on_receipt)
-        self._relay(lambda: self.reference.submit([begin]))
+        attempt = record.redrives
+        self._relay(lambda: self.reference.submit([begin], attempt=attempt))
 
     def _send_prepares(self, record: DistributedTxRecord,
                        only_shards: Optional[List[int]] = None) -> None:
@@ -572,30 +588,32 @@ class ShardedBlockchain:
                               self._check_prepare_deadline, record.tx_id)
 
     def _relay_cohort(self, group: List[Tuple[int, Transaction]],
-                      extra_delay: float = 0.0) -> None:
+                      extra_delay: float = 0.0, attempt: int = 0) -> None:
         """Relay per-shard submissions after the client-relay delay.
 
         As one scheduler event for the whole cohort by default — consecutive
         same-time events fire back to back anyway, so this is order-identical
         to the seed's one-event-per-shard scheduling (the differential test
-        flips ``_cohort_relay`` off to prove it)."""
+        flips ``_cohort_relay`` off to prove it).  ``attempt`` (the record's
+        re-drive count) rotates the receiving replica on retries so a lost
+        submission is not re-pinned to the member that swallowed it."""
         if self._cohort_relay:
             def submit_group(batch=tuple(group)) -> None:
                 for shard_id, tx in batch:
-                    self.shards[shard_id].submit([tx])
+                    self.shards[shard_id].submit([tx], attempt=attempt)
             self.sim.schedule(self.config.relay_delay + extra_delay, submit_group)
         else:
             for shard_id, tx in group:
                 self.sim.schedule(self.config.relay_delay + extra_delay,
                                   lambda sid=shard_id, stx=tx:
-                                  self.shards[sid].submit([stx]))
+                                  self.shards[sid].submit([stx], attempt=attempt))
 
     def _relay_prepare_group(self, record: DistributedTxRecord,
                              group: List[Tuple[int, Transaction]],
                              extra_delay: float = 0.0) -> None:
         for shard_id, prepare_tx in group:
             self._watch(prepare_tx, self._make_prepare_watcher(record, shard_id))
-        self._relay_cohort(group, extra_delay)
+        self._relay_cohort(group, extra_delay, attempt=record.redrives)
 
     def _dispatch_admitted_prepare(self, pending: _PendingPrepare) -> None:
         """A parked PrepareTx got its last lock: relay it now."""
@@ -668,7 +686,8 @@ class ShardedBlockchain:
                 self._send_decision(record)
 
         self._watch(vote, on_receipt)
-        self._relay(lambda: self.reference.submit([vote]))
+        attempt = record.redrives
+        self._relay(lambda: self.reference.submit([vote], attempt=attempt))
 
     def _send_decision(self, record: DistributedTxRecord,
                        only_shards: Optional[List[int]] = None) -> None:
@@ -695,7 +714,17 @@ class ShardedBlockchain:
                            if self._fault is not None else 0.0)
             cohorts.setdefault(extra_delay, []).append((shard_id, decision_tx))
         for extra_delay in sorted(cohorts):
-            self._relay_cohort(cohorts[extra_delay], extra_delay)
+            self._relay_cohort(cohorts[extra_delay], extra_delay,
+                               attempt=record.redrives)
+        if self.adversary is not None and self.config.prepare_timeout is not None:
+            # Under an armed adversary a decision's first-contact member may
+            # swallow it (a silent Byzantine replica), leaving the record
+            # decided-but-unacked forever; the deadline re-drives it through
+            # a rotated member.  Honest runs never lose decisions, so the
+            # timer is not armed there and the default event flow is
+            # untouched.
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_decision_deadline, record.tx_id)
 
     def _make_decision_watcher(self, record: DistributedTxRecord, shard_id: int):
         def on_receipt(receipt: TransactionReceipt) -> None:
@@ -718,6 +747,30 @@ class ShardedBlockchain:
         self.coordinator.record_commit_ack(tx_id, shard_id, now=self.sim.now)
 
     # ------------------------------------------------- re-drives and recovery
+    def _check_decision_deadline(self, tx_id: str) -> None:
+        """Re-drive a decided transaction whose commit/abort acks never came.
+
+        Only armed on adversarial runs (see :meth:`_send_decision`).  Shards
+        whose ack is still missing get the decision again via a rotated
+        member; re-delivery is safe because the decision chaincodes are
+        idempotent (Smallbank applies deltas only while the prepare lock is
+        held, KVStore writes are absolute).
+        """
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.phase is DistributedTxPhase.DONE
+                or record.outcome is DistributedTxOutcome.PENDING):
+            return
+        if self.coordinator.crashed:
+            # Recovery re-drives unsent decisions; check again afterwards.
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_decision_deadline, tx_id)
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.commit_acks]
+        if missing:
+            self.coordinator.mark_redriven(record)
+            self._send_decision(record, only_shards=missing)
+
     def _check_prepare_deadline(self, tx_id: str) -> None:
         """The prepare deadline passed: re-drive the shards with missing votes."""
         record = self.coordinator.records.get(tx_id)
@@ -992,6 +1045,11 @@ class ShardedBlockchain:
             transfer = state_transfer_seconds(
                 self._shard_state_bytes(dest_cluster),
                 bandwidth_bps=self.config.state_bandwidth_bps)
+        if self.adversary is not None:
+            # Corruption follows the logical node: the strategy must know the
+            # joiner's id before admit_member constructs the replica.
+            self.adversary.on_migrate(logical, self._replica_of[logical],
+                                      source_cluster, dest_cluster)
         source_cluster.remove_member(self._replica_of[logical])
         new_physical = dest_cluster.admit_member()
         self._replica_of[logical] = new_physical

@@ -34,10 +34,25 @@ results* regardless of which drain strategy (or batch size) is used.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
+
+#: Hooks invoked every time a new :class:`Simulator` is constructed.  Modules
+#: holding process-global caches whose entries must never leak *between* runs
+#: (e.g. the attested-log verification memo) register a clearing function
+#: here; they pay one cleared cache per simulation instead of taking a
+#: dependency edge from the cache module to every run entry point.  Hooks
+#: must be idempotent and draw no randomness — sub-simulations (the beacon
+#: protocol's isolated runs) also construct simulators mid-run, which simply
+#: re-clears the caches.
+_RUN_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def register_run_reset(hook: Callable[[], None]) -> None:
+    """Register ``hook`` to run at every :class:`Simulator` construction."""
+    _RUN_RESET_HOOKS.append(hook)
 
 
 class Simulator:
@@ -59,6 +74,8 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self._fork_counts: Dict[str, int] = {}
+        for hook in _RUN_RESET_HOOKS:
+            hook()
 
     # ------------------------------------------------------------------ time
     @property

@@ -19,23 +19,38 @@ highest sequence number it may have attested before the crash.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest_of
 from repro.crypto.signatures import Signature, registry_generation, verify_signature
 from repro.errors import EnclaveError
+from repro.sim.simulator import register_run_reset
 from repro.tee.enclave import Enclave, SealedBlob
 
 
-#: Memo of attestation -> (registry generation, verification outcome).  One
-#: attestation object is broadcast to a whole committee, so the enclave
-#: signature is checked once and the remaining N-1 verifications are
-#: dictionary hits.  Keys include the signature MAC, so attestations from
-#: different key material never collide; entries are invalidated whenever the
-#: global key registry changes (a verdict depends on the registered keys, not
-#: just the attestation).
-_VERIFY_MEMO: Dict["LogAttestation", tuple] = {}
+#: Memo of attestation -> verification outcome.  One attestation object is
+#: broadcast to a whole committee, so the enclave signature is checked once
+#: and the remaining N-1 verifications are dictionary hits.  Keys include the
+#: signature MAC, so attestations from different key material never collide.
+#:
+#: Scoping: the memo is valid only for one (run, key-registry generation)
+#: pair.  It is cleared wholesale whenever the global key registry changes —
+#: a verdict depends on the registered keys, not just the attestation — and
+#: at every :class:`~repro.sim.simulator.Simulator` construction, so a
+#: re-seeded back-to-back simulation in the same process can never hit a
+#: previous run's verdicts (the seed kept one process-global memo alive
+#: forever, and only invalidated generation-stale entries lazily, entry by
+#: entry, when they happened to be re-looked-up).
+_VERIFY_MEMO: Dict["LogAttestation", bool] = {}
 _VERIFY_MEMO_MAX = 65536
+_VERIFY_MEMO_GENERATION = -1
+
+register_run_reset(_VERIFY_MEMO.clear)
+
+
+def clear_verify_memo() -> None:
+    """Drop every cached attestation verdict (exposed for tests/tools)."""
+    _VERIFY_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -50,15 +65,20 @@ class LogAttestation:
 
     def verify(self) -> bool:
         """Check the enclave signature over (log, position, digest)."""
+        global _VERIFY_MEMO_GENERATION
         generation = registry_generation()
+        if generation != _VERIFY_MEMO_GENERATION:
+            # Key material changed: every cached verdict is suspect.
+            _VERIFY_MEMO.clear()
+            _VERIFY_MEMO_GENERATION = generation
         cached = _VERIFY_MEMO.get(self)
-        if cached is not None and cached[0] == generation:
-            return cached[1]
+        if cached is not None:
+            return cached
         body = {"log": self.log_name, "position": self.position, "digest": self.digest}
         result = verify_signature(self.signature, body)
         if len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
             _VERIFY_MEMO.clear()
-        _VERIFY_MEMO[self] = (generation, result)
+        _VERIFY_MEMO[self] = result
         return result
 
 
@@ -87,6 +107,13 @@ class AttestedAppendOnlyLog(Enclave):
         self._recovery_floor: Optional[int] = None
         self.appends = 0
         self.rejected_appends = 0
+        #: Optional observer called as ``(enclave_id, log_name, position,
+        #: digest)`` after every successful append.  The safety auditor uses
+        #: it to check, *outside* the enclave, that no slot is ever bound to
+        #: two digests across the enclave's whole lifetime — including across
+        #: restarts, where a broken rollback defence would let a slot be
+        #: re-bound.  None (the default) costs one predicate per append.
+        self.append_listener: Optional[Callable[[str, str, int, str], None]] = None
 
     # ---------------------------------------------------------------- appends
     def append(self, log_name: str, position: int, message: object) -> LogAttestation:
@@ -119,6 +146,8 @@ class AttestedAppendOnlyLog(Enclave):
         log.entries[position] = digest
         log.highest = max(log.highest, position)
         self.appends += 1
+        if self.append_listener is not None:
+            self.append_listener(self.enclave_id, log_name, position, digest)
         body = {"log": log_name, "position": position, "digest": digest}
         return LogAttestation(
             enclave_id=self.enclave_id,

@@ -83,11 +83,26 @@ class KVStoreChaincode(Chaincode):
         return {"prepared": [key for key, _ in pairs]}
 
     def _commit_multi_put(self, state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2 (commit): apply the prepared writes and release the locks.
+
+        A write is applied only while this transaction's prepare lock is
+        still held, making CommitTx **idempotent**: a re-driven decision
+        (the coordinator retries when a Byzantine first-contact member
+        swallows the original and the ack never arrives) may be delivered
+        twice, and the duplicate must neither resurrect a stale value over a
+        later transaction's write nor strip that transaction's lock.
+        """
         pairs = self._pairs(args)
+        tx_id = args.get("tx_id", "")
+        committed = []
         for key, value in pairs:
+            lock_key = f"L_{key}"
+            if state.get(lock_key) != tx_id:
+                continue  # never prepared here, or already committed/aborted
             state.put(key, value)
-            state.delete(f"L_{key}")
-        return {"committed": [key for key, _ in pairs]}
+            state.delete(lock_key)
+            committed.append(key)
+        return {"committed": committed}
 
     def _abort_multi_put(self, state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
         pairs = self._pairs(args)

@@ -123,17 +123,29 @@ class SmallbankChaincode(Chaincode):
 
     @staticmethod
     def _commit_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
-        """Phase 2 (commit): apply balance deltas and release the locks."""
+        """Phase 2 (commit): apply balance deltas and release the locks.
+
+        A delta is applied only while this transaction's prepare lock is
+        still held — applying it is what releases the lock — so CommitTx is
+        **idempotent**: a coordinator that re-drives a decision whose ack was
+        lost (a Byzantine first-contact member can swallow the original) may
+        deliver it twice, and the second delivery must not double-apply the
+        transfer.  This is also the 2PL discipline proper: a shard can only
+        commit what it prepared.
+        """
         tx_id = str(args.get("tx_id", ""))
         deltas: List[Tuple[str, int]] = [
             (str(account), int(delta)) for account, delta in args.get("deltas", [])
         ]
+        applied = []
         for account, delta in deltas:
+            if state.get(lock_key(account)) != tx_id:
+                continue  # never prepared here, or already committed/aborted
             balance = state.get(account_key(account), 0)
             state.put(account_key(account), balance + delta)
-            if state.get(lock_key(account)) == tx_id:
-                state.delete(lock_key(account))
-        return {"committed": [account for account, _ in deltas], "tx_id": tx_id}
+            state.delete(lock_key(account))
+            applied.append(account)
+        return {"committed": applied, "tx_id": tx_id}
 
     @staticmethod
     def _abort_payment(state: StateStore, args: Dict[str, Any]) -> Dict[str, Any]:
