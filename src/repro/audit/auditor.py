@@ -125,7 +125,12 @@ class SafetyAuditor:
 
     # ------------------------------------------------------------- attachment
     def _attach(self) -> None:
-        clusters = dict(self.system.shards)
+        # The engine-neutral way to reach the real shard clusters: the legacy
+        # engine hands out its shards, the scale-out engine its inline
+        # partitions' clusters (process mode refuses — its replicas live in
+        # other address spaces; audit the bit-identical workers=1 run).
+        self._clusters = self.system.audit_clusters()
+        clusters = dict(self._clusters)
         if self.system.reference is not None:
             from repro.core.system import REFERENCE_SHARD_ID
 
@@ -221,7 +226,7 @@ class SafetyAuditor:
         stats = self.system.coordinator.stats
         per_shard = tuple(
             cluster.honest_observer().committed_transactions()
-            for _, cluster in sorted(self.system.shards.items()))
+            for _, cluster in sorted(self._clusters.items()))
         return (stats.committed, stats.aborted, per_shard)
 
     def settle(self, max_seconds: float = 180.0, step: float = 0.5) -> bool:
@@ -235,7 +240,8 @@ class SafetyAuditor:
         the run lost liveness, which the caller should treat as a failure in
         its own right.
         """
-        sim = self.system.sim
+        system = self.system
+        sim = system.sim
         deadline = sim.now + max_seconds
         last_snapshot = None
         while sim.now < deadline:
@@ -243,9 +249,9 @@ class SafetyAuditor:
             if self.is_quiescent() and snapshot == last_snapshot:
                 return True
             last_snapshot = snapshot
-            if sim.pending_events == 0:
+            if not system.pending_activity():
                 return self.is_quiescent()
-            sim.run_batched(until=sim.now + step)
+            system.advance(sim.now + step)
         return self.is_quiescent()
 
     # ----------------------------------------------------------------- checks
@@ -269,7 +275,7 @@ class SafetyAuditor:
 
         refusals = 0
         degraded = 0
-        clusters = list(self.system.shards.values())
+        clusters = list(self._clusters.values())
         if self.system.reference is not None:
             clusters.append(self.system.reference)
         for cluster in clusters:
@@ -294,7 +300,7 @@ class SafetyAuditor:
     def _check_chains(self) -> List[AuditViolation]:
         """Hash-verify each shard's observer chain (prefix check backstop)."""
         violations = []
-        for shard_id, cluster in self.system.shards.items():
+        for shard_id, cluster in self._clusters.items():
             observer = cluster.honest_observer()
             if not observer.blockchain.verify_chain():
                 violations.append(AuditViolation(
@@ -310,7 +316,7 @@ class SafetyAuditor:
         expected = sum(balances.values())
         total = 0
         for key in balances:  # initial_balances maps state keys -> endowment
-            shard = system.shards[system.shard_of_key(key)]
+            shard = self._clusters[system.shard_of_key(key)]
             total += shard.honest_observer().state.get(key, 0)
         if total != expected:
             return [AuditViolation(

@@ -12,6 +12,7 @@ behaviour can be measured end to end.
 from repro.core.adversary import AdversaryConfig, AdversaryState
 from repro.core.config import ShardedSystemConfig
 from repro.core.system import EpochTransitionStats, ShardedBlockchain, ShardedRunResult
+from repro.core.scaleout import ScaleOutShardedBlockchain, build_system
 from repro.core.client_api import ShardedClient
 from repro.core.driver import DriverStats, OpenLoopDriver, attach_open_loop_drivers
 from repro.core.splitters import SmallbankSplitter, KVStoreSplitter, TransactionSplitter
@@ -21,6 +22,8 @@ __all__ = [
     "AdversaryState",
     "ShardedSystemConfig",
     "ShardedBlockchain",
+    "ScaleOutShardedBlockchain",
+    "build_system",
     "ShardedRunResult",
     "EpochTransitionStats",
     "ShardedClient",

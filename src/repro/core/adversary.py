@@ -238,40 +238,76 @@ class AdversaryState:
         lies low (``suppressed_corruptions``), keeping every committee inside
         the threat model the paper's analysis assumes.
         """
+        self.retire_physical(source_cluster, old_physical)
+        self.corrupt_joiner_if_budget(logical, dest_cluster)
+
+    def retire_physical(self, source_cluster: ConsensusCluster,
+                        old_physical: int) -> None:
+        """The departing physical id stops misbehaving in its old committee.
+
+        The source half of :meth:`on_migrate`; it only touches the source
+        cluster, so the scale-out engine can run it on the partition that
+        owns the source shard.
+        """
         source_strategy = self.strategies.get(source_cluster.shard_id)
         if source_strategy is not None:
             source_strategy.corrupted.discard(old_physical)
+
+    def corrupt_joiner_if_budget(self, logical: int,
+                                 dest_cluster: ConsensusCluster) -> bool:
+        """Corrupt the next joiner of ``dest_cluster`` if the budget allows.
+
+        The destination half of :meth:`on_migrate`: the decision depends only
+        on the logical node's placement-time corruption (a pure function of
+        the config) and the destination cluster's current replicas, so the
+        scale-out engine can run it on the partition that owns the
+        destination shard and reach the same verdict the global path would.
+        Returns whether the joiner will misbehave.
+        """
         if not self.config.follow_migrations:
-            return
+            return False
         if logical not in self.corrupted_logical:
-            return
+            return False
         dest_strategy = self.strategies.get(dest_cluster.shard_id)
         if dest_strategy is None:
-            return
+            return False
         already = sum(1 for replica in dest_cluster.replicas
                       if replica.byzantine is not None and not replica.crashed)
         if already >= self.fault_budget:
             self.suppressed_corruptions += 1
-            return
+            return False
         dest_strategy.corrupted.add(dest_cluster.next_member_id())
         self.migrated_corruptions += 1
+        return True
 
     # ---------------------------------------------------------- TEE rollback
     def arm(self, system: Any) -> None:
         """Schedule the configured TEE rollback attack on a live system."""
+        if self.config.tee_rollback_at is None:
+            return
+        if self.config.tee_rollback_shard not in system.shards:
+            raise ConfigurationError(
+                f"tee_rollback_shard {self.config.tee_rollback_shard} does not exist")
+        self.arm_cluster(system.sim, system.shards[self.config.tee_rollback_shard])
+
+    def arm_cluster(self, sim: Any, cluster: ConsensusCluster) -> None:
+        """Schedule the rollback against one cluster on its own simulator.
+
+        Both attack events fire at *absolute* configured times and touch only
+        the victim cluster, so the scale-out engine arms the adversary on the
+        partition that owns ``tee_rollback_shard`` and the attack trace is
+        identical to the global-simulation path.
+        """
         adversary = self.config
         if adversary.tee_rollback_at is None:
             return
-        if adversary.tee_rollback_shard not in system.shards:
-            raise ConfigurationError(
-                f"tee_rollback_shard {adversary.tee_rollback_shard} does not exist")
         seal_at = (adversary.tee_rollback_stale_seal_at
                    if adversary.tee_rollback_stale_seal_at is not None
                    else adversary.tee_rollback_at / 2.0)
-        system.sim.schedule_at(seal_at, self._capture_stale_seal, system)
-        system.sim.schedule_at(adversary.tee_rollback_at, self._execute_rollback, system)
+        sim.schedule_at(seal_at, self._capture_stale_seal, sim, cluster)
+        sim.schedule_at(adversary.tee_rollback_at, self._execute_rollback, sim, cluster)
 
-    def _pick_rollback_victim(self, system: Any):
+    def _pick_rollback_victim(self, cluster: ConsensusCluster):
         """Deterministically choose the honest replica whose host is attacked.
 
         The *last* honest, attested member in committee order: honest because
@@ -280,21 +316,20 @@ class AdversaryState:
         the rotation — attacking a non-leader isolates the rollback defence
         from leader-replacement effects.
         """
-        cluster = system.shards[self.config.tee_rollback_shard]
         honest = [replica for replica in cluster.replicas
                   if replica.byzantine is None and not replica.crashed
                   and hasattr(replica, "attested_log")]
         return honest[-1] if honest else None
 
-    def _capture_stale_seal(self, system: Any) -> None:
-        victim = self._pick_rollback_victim(system)
+    def _capture_stale_seal(self, sim: Any, cluster: ConsensusCluster) -> None:
+        victim = self._pick_rollback_victim(cluster)
         if victim is None:
             return
         self._rollback_victim = victim
         self._stale_seal = victim.attested_log.seal_logs()
-        self._seal_time = system.sim.now
+        self._seal_time = sim.now
 
-    def _execute_rollback(self, system: Any) -> None:
+    def _execute_rollback(self, sim: Any, cluster: ConsensusCluster) -> None:
         victim = self._rollback_victim
         if victim is None or victim.crashed:
             return  # victim never sealed, or left/crashed meanwhile
@@ -302,7 +337,7 @@ class AdversaryState:
         floor = victim.begin_log_recovery()
         self.rollback_events.append(RollbackEvent(
             victim=victim.node_id, shard_id=self.config.tee_rollback_shard,
-            sealed_at=self._seal_time, restarted_at=system.sim.now,
+            sealed_at=self._seal_time, restarted_at=sim.now,
             recovery_floor=floor,
         ))
 

@@ -199,14 +199,17 @@ class OpenLoopDriver:
         if self.max_transactions is None:
             raise ConfigurationError("run_to_completion requires max_transactions")
         self.start()
-        sim = self.system.sim
+        # Drive through the engine-neutral advance API so the same loop works
+        # on the legacy engine and the scale-out barrier loop.
+        system = self.system
+        sim = system.sim
         submit_horizon = self.max_transactions / self.rate_tps
-        sim.run_batched(until=sim.now + submit_horizon, max_events=max_events)
+        system.advance(sim.now + submit_horizon, max_events=max_events)
         deadline = sim.now + drain_timeout
         while self.stats.completed < self.stats.submitted and sim.now < deadline:
-            if not sim.pending_events:
+            if not system.pending_activity():
                 break
-            sim.run_batched(until=min(sim.now + 1.0, deadline), max_events=max_events)
+            system.advance(min(sim.now + 1.0, deadline), max_events=max_events)
         return self.stats
 
 

@@ -1,0 +1,754 @@
+"""Deterministic multi-core scale-out engine for the sharded system.
+
+The legacy :class:`~repro.core.system.ShardedBlockchain` drains every
+committee's events on one global simulation loop, so wall-clock time grows
+with the *total* work of all shards.  This module partitions the deployment
+— the paper's own structure makes the cut: committees only interact through
+the coordination layer, never directly — so shard-side consensus work can
+run on multiple cores while outcomes stay bit-identical for any worker
+count.
+
+Execution model (conservative synchronous PDES)
+-----------------------------------------------
+* Each shard committee becomes a :class:`ShardPartition`: its own
+  :class:`~repro.sim.simulator.Simulator`, :class:`~repro.sim.network.Network`
+  (and therefore its own jitter RNG stream), replicas, and chaincode state.
+* The parent keeps everything else: the 2PC coordinator, the reference
+  committee, lock admission, fault injection, the epoch machinery and the
+  drivers.
+* Every parent->shard interaction pays at least ``config.relay_delay``
+  before the shard acts, and every shard->parent interaction (commit
+  receipts, migration reports) is timestamped with its exact occurrence
+  time.  ``relay_delay`` is therefore a *lookahead*: within any window of
+  length ``barrier_interval <= relay_delay``, neither side can affect the
+  other's present, so windows can be executed independently.
+
+The barrier loop alternates strictly: partitions drain window ``(T, T+d]``
+first (commands buffered by the parent's previous window injected at their
+exact due times, in emission order), then their outputs are injected into
+the parent sorted by ``(time, shard, emission sequence)``, then the parent
+drains the same window — emitting the next round of commands.  Commands and
+outputs always carry exact event times, never barrier-aligned ones, which
+is why the fingerprint is invariant under both the barrier length and the
+worker count.
+
+Workers
+-------
+``workers=1`` drains all partitions inline in one process (the
+seed-faithful scale-out path, also the only mode the
+:class:`~repro.audit.auditor.SafetyAuditor` can attach to — it needs the
+replicas in its own address space).  ``workers=N`` forks N persistent
+worker processes, each owning a fixed subset of partitions
+(``shard % N == worker``), and exchanges pickled command/output batches
+over pipes once per barrier.  Because partitions are self-contained, the
+grouping of partitions onto workers cannot affect outcomes — which is the
+whole determinism argument: ``workers=N`` executes exactly the same
+per-partition event sequences as ``workers=1``.
+
+Epoch transitions and the adversary cross partition boundaries, so they are
+decomposed into partition-local control operations: membership removal runs
+on the source partition, admission (including the budget-checked corruption
+decision, the state-transfer sizing and the activation timer) on the
+destination partition, with reports flowing back to the parent to pace the
+next swap batch.  The TEE rollback is armed directly on the partition that
+owns the victim shard, at its absolute configured times.
+
+Known tie-break caveat: an output injected at time ``t`` fires after parent
+events at ``t`` scheduled in earlier windows and before ones scheduled
+later in the same window.  In principle a parent event at exactly ``t``
+whose *scheduling* window straddles a barrier could order differently under
+a different ``barrier_interval``; in practice partition output times are
+sums of jittered network latencies and never collide with unrelated parent
+event times (the barrier-sweep property test verifies outcome invariance
+empirically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.consensus.cluster import ConsensusCluster, member_node_id
+from repro.core.adversary import AdversaryState
+from repro.core.config import ShardedSystemConfig
+from repro.core.system import REFERENCE_SHARD_ID, ShardedBlockchain, ShardedRunResult
+from repro.errors import ConfigurationError, SimulationError
+from repro.ledger.chaincode import ChaincodeRegistry
+from repro.ledger.transaction import Transaction
+from repro.sharding.assignment import assign_committees
+from repro.sharding.reconfiguration import state_transfer_seconds
+from repro.sim.latency import LanLatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+
+def build_system(config: ShardedSystemConfig) -> ShardedBlockchain:
+    """Build the engine the config asks for.
+
+    ``workers=None`` — the default — returns the legacy single-simulation
+    engine (bit-identical to every committed baseline); an integer returns
+    the partitioned scale-out engine.
+    """
+    if config.workers is None:
+        return ShardedBlockchain(config)
+    return ScaleOutShardedBlockchain(config)
+
+
+def _partition_seed(seed: int, shard_id: int) -> int:
+    """Seed of a shard partition's own simulator (distinct per shard)."""
+    return seed * 1_000_003 + 7_919 * shard_id + 17
+
+
+# --------------------------------------------------------------------------
+# Cross-boundary messages.  Everything here is a plain picklable dataclass:
+# process mode ships these over pipes, inline mode passes them in memory —
+# same objects, same ordering rules, same outcomes.
+# --------------------------------------------------------------------------
+
+@dataclass
+class _Command:
+    """One parent->partition control operation, due at an exact time."""
+
+    due: float
+    shard: int
+    op: str  # "submit" | "remove" | "admit" | "margin" | "prepare" | "track"
+    txs: Tuple[Transaction, ...] = ()
+    attempt: int = 0
+    #: remove: the physical id leaving.  admit: the joiner id the parent
+    #: predicted from its slot mirror (cross-checked partition-side).
+    node_id: int = -1
+    logical: int = -1
+    transfer_override: Optional[float] = None
+    #: Correlates admit/margin reports with parent-side bookkeeping.
+    marker: int = -1
+
+
+@dataclass
+class _ReceiptsOut:
+    """Commit receipts observed on a partition at ``time``."""
+
+    time: float
+    shard: int
+    seq: int
+    receipts: Tuple[Any, ...]
+
+
+@dataclass
+class _AdmitReport:
+    """A destination partition executed an admit op: its transfer delay."""
+
+    time: float
+    shard: int
+    seq: int
+    marker: int
+    node_id: int
+    transfer: float
+
+
+@dataclass
+class _MarginReport:
+    """A partition sampled its committee's active-minus-quorum margin."""
+
+    time: float
+    shard: int
+    seq: int
+    marker: int
+    margin: int
+
+
+@dataclass
+class _BatchState:
+    """Parent bookkeeping for one in-flight swap batch."""
+
+    transition: Any
+    index: int
+    started_at: float
+    outstanding: int
+    max_transfer: float = 0.0
+
+
+class ShardPartition:
+    """One shard's self-contained sub-simulation (runs wherever its worker is)."""
+
+    def __init__(self, config: ShardedSystemConfig, shard_id: int) -> None:
+        self.config = config
+        self.shard_id = shard_id
+        self.sim = Simulator(seed=_partition_seed(config.seed, shard_id))
+        self.network = Network(self.sim, config.latency_model or LanLatencyModel())
+        # The committee assignment and the adversary placement are pure
+        # functions of the config, so every partition recomputes them and
+        # agrees with the parent without any state shipping.
+        assignment = assign_committees(list(range(config.total_nodes)),
+                                       config.num_shards, seed=config.seed)
+        self.adversary: Optional[AdversaryState] = (
+            AdversaryState.place(config, assignment)
+            if config.adversary is not None else None)
+        self.cluster = ConsensusCluster(
+            protocol=config.protocol,
+            n=config.committee_size,
+            config_overrides=dict(config.consensus_overrides),
+            registry_factory=self._benchmark_registry,
+            regions=config.regions,
+            byzantine=(self.adversary.strategy_for(shard_id)
+                       if self.adversary is not None else None),
+            seed=config.seed + shard_id,
+            shard_id=shard_id,
+            sim=self.sim,
+            network=self.network,
+            max_series_samples=config.max_series_samples,
+        )
+        self._populate()
+        self._outbox: List[Any] = []
+        self._outseq = itertools.count()
+        self.cluster.subscribe_commits(self._on_commit)
+        if (self.adversary is not None
+                and self.adversary.config.tee_rollback_shard == shard_id):
+            self.adversary.arm_cluster(self.sim, self.cluster)
+
+    # ------------------------------------------------------------ construction
+    def _benchmark_registry(self) -> ChaincodeRegistry:
+        registry = ChaincodeRegistry()
+        if self.config.benchmark == "smallbank":
+            registry.register(
+                SmallbankWorkload(num_accounts=self.config.num_keys).chaincode)
+        else:
+            registry.register(
+                KVStoreWorkload(num_keys=self.config.num_keys).chaincode)
+        return registry
+
+    def _populate(self) -> None:
+        """Load this shard's slice of the initial key space (parent mirror)."""
+        from repro.workloads.generator import shard_of_key
+        from repro.workloads.smallbank import initial_balances
+
+        if self.config.benchmark == "smallbank":
+            items = list(initial_balances(self.config.num_keys).items())
+        else:
+            workload = KVStoreWorkload(num_keys=self.config.num_keys)
+            items = [(workload.key_name(i), "0" * 8)
+                     for i in range(min(self.config.num_keys, 5000))]
+        for key, value in items:
+            if shard_of_key(key, self.config.num_shards) != self.shard_id:
+                continue
+            for replica in self.cluster.replicas:
+                replica.state.put(key, value)
+
+    # --------------------------------------------------------------- capture
+    def _on_commit(self, event: Any) -> None:
+        if event.receipts:
+            self._outbox.append(_ReceiptsOut(
+                time=self.sim.now, shard=self.shard_id,
+                seq=next(self._outseq), receipts=tuple(event.receipts)))
+
+    # --------------------------------------------------------------- running
+    def inject(self, commands: List[_Command]) -> None:
+        """Schedule buffered parent commands at their exact due times.
+
+        Injection order (the parent's emission order) is the tie-break among
+        same-time commands, so the apply order is worker-count-invariant.
+        """
+        for command in commands:
+            self.sim.schedule_at(command.due, self._apply, command)
+
+    def run_window(self, until: float) -> List[Any]:
+        """Drain events up to ``until`` and return this window's outputs."""
+        self.sim.run_batched(until=until)
+        self.sim.advance_clock(until)
+        out, self._outbox = self._outbox, []
+        return out
+
+    def _apply(self, command: _Command) -> None:
+        op = command.op
+        if op == "submit":
+            self.cluster.submit(list(command.txs), attempt=command.attempt)
+        elif op == "remove":
+            if self.adversary is not None:
+                self.adversary.retire_physical(self.cluster, command.node_id)
+            self.cluster.remove_member(command.node_id)
+        elif op == "admit":
+            self._apply_admit(command)
+        elif op == "margin":
+            if self.cluster.replicas:
+                margin = (len(self.cluster.active_replicas())
+                          - self.cluster.config.quorum_size(len(self.cluster.replicas)))
+                self._outbox.append(_MarginReport(
+                    time=self.sim.now, shard=self.shard_id,
+                    seq=next(self._outseq), marker=command.marker, margin=margin))
+        elif op == "prepare":
+            self.cluster.prepare_for_membership_change()
+        elif op == "track":
+            self.cluster.enable_request_tracking()
+        else:  # pragma: no cover - protocol bug guard
+            raise SimulationError(f"unknown partition op {op!r}")
+
+    def _apply_admit(self, command: _Command) -> None:
+        """Admit a migrating joiner: corruption decision, sizing, activation.
+
+        Mirrors the legacy ``_migrate_node`` destination half exactly: the
+        corruption decision precedes ``admit_member`` (replicas snapshot
+        their strategy at construction), the transfer is sized from this
+        cluster's own state source, and activation is a local timer.
+        """
+        if self.adversary is not None:
+            self.adversary.corrupt_joiner_if_budget(command.logical, self.cluster)
+        node_id = self.cluster.admit_member()
+        if node_id != command.node_id:
+            raise SimulationError(
+                f"scale-out desync: shard {self.shard_id} admitted {node_id}, "
+                f"parent predicted {command.node_id}")
+        transfer = command.transfer_override
+        if transfer is None:
+            source = self.cluster.state_source_replica()
+            state_bytes = source.state.size_bytes() if source is not None else 0
+            transfer = state_transfer_seconds(
+                state_bytes, bandwidth_bps=self.config.state_bandwidth_bps)
+        self.sim.schedule(transfer, self.cluster.activate_member, node_id)
+        self._outbox.append(_AdmitReport(
+            time=self.sim.now, shard=self.shard_id, seq=next(self._outseq),
+            marker=command.marker, node_id=node_id, transfer=transfer))
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, int]:
+        counters = {
+            "committed": self.cluster.honest_observer().committed_transactions(),
+            "view_changes": int(self.cluster.monitor.counter_value(
+                f"view_changes.shard{self.shard_id}")),
+            "pending_events": self.sim.pending_events,
+            "degraded_observer_reads": self.cluster.degraded_observer_reads,
+        }
+        if self.adversary is not None:
+            counters["migrated_corruptions"] = self.adversary.migrated_corruptions
+            counters["suppressed_corruptions"] = self.adversary.suppressed_corruptions
+            counters["rollback_events"] = len(self.adversary.rollback_status())
+            counters["rollbacks_completed"] = sum(
+                1 for event in self.adversary.rollback_events if event.completed)
+        return counters
+
+
+# --------------------------------------------------------------------------
+# Executors: run the fixed set of partitions, inline or across processes.
+# --------------------------------------------------------------------------
+
+class _InlineExecutor:
+    """All partitions in this process, drained serially in shard order."""
+
+    def __init__(self, config: ShardedSystemConfig, shard_ids: List[int]) -> None:
+        self.partitions = {shard_id: ShardPartition(config, shard_id)
+                           for shard_id in shard_ids}
+
+    def run_window(self, until: float,
+                   commands: List[_Command]) -> List[Any]:
+        by_shard: Dict[int, List[_Command]] = {}
+        for command in commands:
+            by_shard.setdefault(command.shard, []).append(command)
+        out: List[Any] = []
+        for shard_id, partition in self.partitions.items():
+            if shard_id in by_shard:
+                partition.inject(by_shard[shard_id])
+            out.extend(partition.run_window(until))
+        return out
+
+    def summaries(self) -> Dict[int, Dict[str, int]]:
+        return {shard_id: partition.summary()
+                for shard_id, partition in self.partitions.items()}
+
+    def pending_events(self) -> int:
+        return sum(partition.sim.pending_events
+                   for partition in self.partitions.values())
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn: Any, config: ShardedSystemConfig,
+                 shard_ids: List[int]) -> None:
+    """Worker process loop: build the owned partitions, serve barrier RPCs."""
+    partitions = {shard_id: ShardPartition(config, shard_id)
+                  for shard_id in shard_ids}
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "window":
+                _, until, by_shard = message
+                out: List[Any] = []
+                for shard_id in shard_ids:
+                    partition = partitions[shard_id]
+                    commands = by_shard.get(shard_id)
+                    if commands:
+                        partition.inject(commands)
+                    out.extend(partition.run_window(until))
+                conn.send(("done", out))
+            elif kind == "summary":
+                conn.send(("summary", {shard_id: partitions[shard_id].summary()
+                                       for shard_id in shard_ids}))
+            elif kind == "pending":
+                conn.send(("pending", sum(p.sim.pending_events
+                                          for p in partitions.values())))
+            elif kind == "stop":
+                conn.send(("bye",))
+                return
+    except EOFError:  # parent went away; nothing useful left to do
+        return
+
+
+class _ProcessExecutor:
+    """Partitions spread over persistent worker processes (``shard % N``)."""
+
+    def __init__(self, config: ShardedSystemConfig, shard_ids: List[int],
+                 workers: int) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        self._workers: List[Tuple[Any, Any, List[int]]] = []
+        for worker_index in range(workers):
+            owned = [shard_id for position, shard_id in enumerate(shard_ids)
+                     if position % workers == worker_index]
+            if not owned:
+                continue
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(target=_worker_main,
+                                  args=(child_conn, config, owned),
+                                  daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn, owned))
+        self._closed = False
+
+    def _recv(self, conn: Any, expected: str) -> Any:
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise SimulationError(
+                "scale-out worker process died mid-run (see its stderr)") from exc
+        if reply[0] != expected:  # pragma: no cover - protocol bug guard
+            raise SimulationError(f"unexpected worker reply {reply[0]!r}")
+        return reply[1] if len(reply) > 1 else None
+
+    def run_window(self, until: float,
+                   commands: List[_Command]) -> List[Any]:
+        by_shard: Dict[int, List[_Command]] = {}
+        for command in commands:
+            by_shard.setdefault(command.shard, []).append(command)
+        for _, conn, owned in self._workers:
+            conn.send(("window", until,
+                       {shard_id: by_shard[shard_id] for shard_id in owned
+                        if shard_id in by_shard}))
+        out: List[Any] = []
+        for _, conn, _ in self._workers:
+            out.extend(self._recv(conn, "done"))
+        return out
+
+    def summaries(self) -> Dict[int, Dict[str, int]]:
+        for _, conn, _ in self._workers:
+            conn.send(("summary",))
+        merged: Dict[int, Dict[str, int]] = {}
+        for _, conn, _ in self._workers:
+            merged.update(self._recv(conn, "summary"))
+        return merged
+
+    def pending_events(self) -> int:
+        for _, conn, _ in self._workers:
+            conn.send(("pending",))
+        return sum(self._recv(conn, "pending") for _, conn, _ in self._workers)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for process, conn, _ in self._workers:
+            try:
+                conn.send(("stop",))
+                self._recv(conn, "bye")
+            except (OSError, SimulationError):
+                pass
+            conn.close()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+
+
+# --------------------------------------------------------------------------
+# The scale-out system.
+# --------------------------------------------------------------------------
+
+class ScaleOutShardedBlockchain(ShardedBlockchain):
+    """The partitioned engine: same API, barrier-synchronized execution.
+
+    See the module docstring for the model.  Construction reuses the base
+    class with the shard-facing hooks overridden: shard "clusters" become
+    :class:`_ShardHandle` stubs, state population / observer attachment /
+    adversary arming move to the partitions, and every shard-bound relay is
+    re-routed through the command buffer.
+    """
+
+    SUPPORTS_WORKERS = True
+
+    def __init__(self, config: ShardedSystemConfig) -> None:
+        if config.workers is None:
+            raise ConfigurationError(
+                "ScaleOutShardedBlockchain requires config.workers")
+        # State the overridden construction hooks touch; must exist before
+        # the base constructor runs them.
+        self._cmd_buffer: List[_Command] = []
+        self._marker_counter = itertools.count()
+        self._pending_admits: Dict[int, _BatchState] = {}
+        self._margin_sinks: Dict[int, Any] = {}
+        self._executor: Optional[Any] = None
+        self._next_slot: Dict[int, int] = {}
+        super().__init__(config)
+        self._next_slot = {shard_id: config.committee_size
+                           for shard_id in range(config.num_shards)}
+        self.barrier_interval = (config.barrier_interval
+                                 if config.barrier_interval is not None
+                                 else config.relay_delay)
+
+    # -------------------------------------------------------------- executor
+    @property
+    def executor(self) -> Any:
+        if self._executor is None:
+            # Partitions never see the fault scenario (it binds parent-side
+            # closures and is consulted only by the coordination layer) nor
+            # the worker knobs themselves.
+            spec = dataclasses.replace(self.config, fault_scenario=None,
+                                       workers=None, barrier_interval=None)
+            shard_ids = list(range(self.config.num_shards))
+            if self.config.workers <= 1:
+                self._executor = _InlineExecutor(spec, shard_ids)
+            else:
+                self._executor = _ProcessExecutor(spec, shard_ids,
+                                                  self.config.workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+
+    # --------------------------------------------------- construction hooks
+    def _build_shard_cluster(self, shard_id: int) -> Any:
+        return _ShardHandle(self, shard_id)
+
+    def _populate_states(self) -> None:
+        pass  # each partition loads its own slice of the key space
+
+    def _attach_observers(self) -> None:
+        # Shard receipts arrive through the barrier exchange; only the
+        # parent-resident reference committee keeps a direct observer.
+        if self.reference is not None:
+            self.reference.subscribe_commits(self._make_observer(REFERENCE_SHARD_ID))
+
+    def _arm_adversary(self) -> None:
+        pass  # the partition owning tee_rollback_shard arms its own copy
+
+    def _initial_replica_map(self) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for committee in self.assignment.committees:
+            for slot, logical in enumerate(committee.members):
+                mapping[logical] = member_node_id(committee.shard_id, slot)
+        return mapping
+
+    # ------------------------------------------------------------ relays
+    def _emit(self, command: _Command) -> None:
+        self._cmd_buffer.append(command)
+
+    def _relay_shard_single(self, shard_id: int, tx: Transaction,
+                            attempt: int = 0) -> None:
+        self._emit(_Command(due=self.sim.now + self.config.relay_delay,
+                            shard=shard_id, op="submit", txs=(tx,),
+                            attempt=attempt))
+
+    def _relay_cohort(self, group: List[Tuple[int, Transaction]],
+                      extra_delay: float = 0.0, attempt: int = 0) -> None:
+        due = self.sim.now + self.config.relay_delay + extra_delay
+        for shard_id, tx in group:
+            self._emit(_Command(due=due, shard=shard_id, op="submit",
+                                txs=(tx,), attempt=attempt))
+
+    # ------------------------------------------------------------ barrier loop
+    def advance(self, until: float, max_events: Optional[int] = None) -> None:
+        """Run the barrier loop to ``until`` (``max_events`` is not supported).
+
+        Strict alternation per window: ship buffered commands, drain the
+        partitions, inject their outputs at exact times, drain the parent.
+        """
+        delta = self.barrier_interval
+        now = self.sim.now
+        while now < until:
+            end = min(now + delta, until)
+            commands, self._cmd_buffer = self._cmd_buffer, []
+            outputs = self.executor.run_window(end, commands)
+            self._deliver_outputs(outputs)
+            self.sim.run_batched(until=end)
+            self.sim.advance_clock(end)
+            now = end
+
+    def pending_activity(self) -> bool:
+        return (self.sim.pending_events > 0 or bool(self._cmd_buffer)
+                or self.executor.pending_events() > 0)
+
+    def _deliver_outputs(self, outputs: List[Any]) -> None:
+        """Inject partition outputs as parent events at their exact times.
+
+        The ``(time, shard, seq)`` sort is the canonical arrival order: it
+        depends only on what the partitions did, never on how they were
+        grouped onto workers.
+        """
+        for item in sorted(outputs, key=lambda it: (it.time, it.shard, it.seq)):
+            if isinstance(item, _ReceiptsOut):
+                self.sim.schedule_at(item.time, self._deliver_receipts,
+                                     item.receipts)
+            elif isinstance(item, _AdmitReport):
+                self.sim.schedule_at(item.time, self._on_admit_report, item)
+            elif isinstance(item, _MarginReport):
+                self.sim.schedule_at(item.time, self._on_margin_report, item)
+            else:  # pragma: no cover - protocol bug guard
+                raise SimulationError(f"unknown partition output {item!r}")
+
+    def _deliver_receipts(self, receipts: Tuple[Any, ...]) -> None:
+        for receipt in receipts:
+            watcher = self._receipt_watchers.pop(receipt.tx_id, None)
+            if watcher is not None:
+                watcher(receipt)
+
+    # ------------------------------------------------------------ run/results
+    def result(self, duration: float) -> ShardedRunResult:
+        stats = self.coordinator.stats
+        summaries = self.shard_summaries()
+        per_shard = {shard_id: summaries[shard_id]["committed"]
+                     for shard_id in sorted(summaries)}
+        reference_txs = (self.reference.honest_observer().committed_transactions()
+                         if self.reference is not None else 0)
+        return ShardedRunResult(
+            duration=duration,
+            committed_transactions=stats.committed,
+            aborted_transactions=stats.aborted,
+            throughput_tps=stats.committed / duration if duration > 0 else 0.0,
+            abort_rate=stats.abort_rate,
+            mean_latency=stats.mean_latency,
+            cross_shard_fraction=(stats.cross_shard / stats.started
+                                  if stats.started else 0.0),
+            per_shard_committed=per_shard,
+            reference_committee_transactions=reference_txs,
+            current_epoch=self.epochs.current_epoch,
+            reconfigurations_completed=self.reconfigurations_completed,
+        )
+
+    def shard_summaries(self) -> Dict[int, Dict[str, int]]:
+        return self.executor.summaries()
+
+    def audit_clusters(self) -> Dict[int, ConsensusCluster]:
+        if self.config.workers > 1:
+            raise ConfigurationError(
+                "the safety auditor needs the replicas in-process: audit a "
+                "workers=1 run (bit-identical to workers=N by the engine's "
+                "determinism guarantee) instead")
+        return {shard_id: partition.cluster
+                for shard_id, partition in self.executor.partitions.items()}
+
+    # ------------------------------------------------------------ epoch ops
+    def _run_migration_step(self, transition: Any, index: int) -> None:
+        """Emit one swap batch as partition control ops; reports pace the next.
+
+        Mirrors the legacy step exactly, shifted by the relay lookahead: ops
+        execute on their partitions at ``t + relay_delay``, the destination
+        sizes the transfer itself, and the next batch starts at
+        ``max(t + batch_interval, t_ops + max_transfer)`` once every admit
+        of this batch has reported — the same pacing rule as the legacy
+        ``max(batch_interval, max_transfer)`` reschedule.
+        """
+        plan = transition.plan
+        if index >= plan.num_steps:
+            self._complete_transition(transition)
+            return
+        now = self.sim.now
+        due = now + self.config.relay_delay
+        markers: List[int] = []
+        for logical in sorted(plan.nodes_in_step(index)):
+            old_shard = transition.old_map[logical]
+            new_shard = transition.new_map[logical]
+            self._emit(_Command(due=due, shard=old_shard, op="remove",
+                                node_id=self._replica_of[logical]))
+            slot = self._next_slot[new_shard]
+            self._next_slot[new_shard] = slot + 1
+            new_physical = member_node_id(new_shard, slot)
+            marker = next(self._marker_counter)
+            markers.append(marker)
+            self._emit(_Command(due=due, shard=new_shard, op="admit",
+                                node_id=new_physical, logical=logical,
+                                transfer_override=transition.transfer_override,
+                                marker=marker))
+            self._replica_of[logical] = new_physical
+            transition.stats.nodes_moved += 1
+        batch = _BatchState(transition=transition, index=index,
+                            started_at=now, outstanding=len(markers))
+        for marker in markers:
+            self._pending_admits[marker] = batch
+        # Margins are sampled on every shard after this batch's ops applied,
+        # mirroring the legacy per-batch _record_membership_margins sweep.
+        for shard_id in sorted(self.shards):
+            marker = next(self._marker_counter)
+            self._margin_sinks[marker] = transition.stats
+            self._emit(_Command(due=due, shard=shard_id, op="margin",
+                                marker=marker))
+        if not markers:
+            delay = transition.batch_interval if index + 1 < plan.num_steps else 0.0
+            self.sim.schedule(delay, self._run_migration_step, transition,
+                              index + 1)
+
+    def _on_admit_report(self, report: _AdmitReport) -> None:
+        batch = self._pending_admits.pop(report.marker)
+        batch.outstanding -= 1
+        batch.max_transfer = max(batch.max_transfer, report.transfer)
+        if batch.outstanding:
+            return
+        transition = batch.transition
+        if batch.index + 1 < transition.plan.num_steps:
+            next_time = max(batch.started_at + transition.batch_interval,
+                            self.sim.now + batch.max_transfer)
+            self.sim.schedule_at(next_time, self._run_migration_step,
+                                 transition, batch.index + 1)
+        else:
+            self.sim.schedule(batch.max_transfer, self._run_migration_step,
+                              transition, batch.index + 1)
+
+    def _on_margin_report(self, report: _MarginReport) -> None:
+        stats = self._margin_sinks.pop(report.marker)
+        previous = stats.min_active_margin.get(report.shard)
+        if previous is None or report.margin < previous:
+            stats.min_active_margin[report.shard] = report.margin
+
+
+class _ShardHandle:
+    """Parent-side stand-in for a partitioned shard's cluster.
+
+    Implements exactly the cluster surface the parent's *control* paths use
+    (request tracking and membership-change preparation become buffered
+    commands); data-path calls must go through the overridden relays, so a
+    direct ``submit`` is a protocol bug and says so.
+    """
+
+    def __init__(self, system: ScaleOutShardedBlockchain, shard_id: int) -> None:
+        self.system = system
+        self.shard_id = shard_id
+
+    def submit(self, transactions: Any, to: Any = None, attempt: int = 0) -> None:
+        raise SimulationError(
+            f"direct submit to partitioned shard {self.shard_id}: shard-bound "
+            "traffic must flow through the relay hooks (_relay_shard_single / "
+            "_relay_cohort)")
+
+    def enable_request_tracking(self) -> None:
+        self.system._emit(_Command(
+            due=self.system.sim.now + self.system.config.relay_delay,
+            shard=self.shard_id, op="track"))
+
+    def prepare_for_membership_change(self) -> None:
+        self.system._emit(_Command(
+            due=self.system.sim.now + self.system.config.relay_delay,
+            shard=self.shard_id, op="prepare"))

@@ -65,6 +65,42 @@ With the default configuration (no ``epoch_duration``, no explicit
 reconfiguration) none of this schedules events or draws randomness: the
 no-epoch run is event-for-event identical to the seed implementation, which
 ``tests/test_epoch_lifecycle.py`` verifies differentially.
+
+Scale-out and the barrier-exchange model
+----------------------------------------
+``ShardedSystemConfig.workers`` switches the deployment to the partitioned
+engine in :mod:`repro.core.scaleout` (build via
+:func:`repro.core.build_system`).  The model is conservative synchronous
+parallel discrete-event simulation:
+
+* Every shard committee becomes a :class:`~repro.core.scaleout.ShardPartition`
+  — its own :class:`Simulator`, :class:`Network` and RNG streams — while the
+  coordination layer (2PC coordinator, reference committee, admission, fault
+  injection, epoch control) stays on the parent simulation.
+* The only parent->shard traffic is a handful of call sites that all pay at
+  least ``relay_delay`` before the shard acts (``_relay_shard_single``,
+  ``_relay_cohort``, and the epoch/adversary control operations); the only
+  shard->parent traffic is commit receipts and migration reports, which
+  carry their exact occurrence times.  ``relay_delay`` is therefore a
+  *lookahead*: during any window of length ``barrier_interval <=
+  relay_delay``, no side can affect the other's present.
+* Execution alternates in windows ``(T, T + barrier]``: partitions drain
+  their windows first (buffered commands injected at their exact due
+  times), their outputs are injected into the parent at their exact
+  occurrence times in a fixed (time, shard, sequence) order, then the
+  parent drains its window and the commands it emitted are shipped at the
+  next barrier.
+
+Because commands and receipts carry exact times — never barrier-aligned
+ones — the fingerprint is invariant under the barrier length and under the
+worker count: ``workers=1`` (all partitions drained inline, the
+seed-faithful scale-out path) and ``workers=N`` (partitions spread over N
+processes) produce bit-identical commit/abort/view-change outcomes, which
+``tests/test_scaleout_differential.py`` verifies across the fault, epoch
+and adversary matrix.  The legacy ``workers=None`` engine shares one global
+simulation (and one network jitter RNG) across all clusters, so its event
+interleaving — and thus its fingerprints — are its own; committed baselines
+pin that path, and it stays bit-identical to the seed.
 """
 
 from __future__ import annotations
@@ -298,7 +334,15 @@ class _LockAdmission:
 class ShardedBlockchain:
     """A sharded permissioned blockchain deployment inside one simulation."""
 
+    #: The scale-out subclass flips this; the base engine refuses a config
+    #: whose ``workers`` it would silently ignore.
+    SUPPORTS_WORKERS = False
+
     def __init__(self, config: ShardedSystemConfig) -> None:
+        if config.workers is not None and not self.SUPPORTS_WORKERS:
+            raise ConfigurationError(
+                "config.workers requires the scale-out engine; build the "
+                "system via repro.core.build_system(config)")
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, config.latency_model or LanLatencyModel())
@@ -336,8 +380,7 @@ class ShardedBlockchain:
         self.reference: Optional[ConsensusCluster] = None
         if config.use_reference_committee:
             self.reference = self._build_reference_cluster()
-        if self.adversary is not None:
-            self.adversary.arm(self)
+        self._arm_adversary()
         self._populate_states()
         self._attach_observers()
 
@@ -351,11 +394,7 @@ class ShardedBlockchain:
         #: the replica currently embodying that node.  A migration retires
         #: the old replica and binds the logical node to its successor in
         #: the destination cluster.
-        self._replica_of: Dict[int, int] = {}
-        for committee in self.assignment.committees:
-            cluster = self.shards[committee.shard_id]
-            for logical, replica in zip(committee.members, cluster.replicas):
-                self._replica_of[logical] = replica.node_id
+        self._replica_of: Dict[int, int] = self._initial_replica_map()
         #: History of executed epoch transitions (stats + their plans).
         self.epoch_transitions: List[EpochTransitionStats] = []
         self._active_transition: Optional[_ActiveTransition] = None
@@ -373,6 +412,20 @@ class ShardedBlockchain:
     def _form_committees(self) -> CommitteeAssignment:
         node_ids = list(range(self.config.total_nodes))
         return assign_committees(node_ids, self.config.num_shards, seed=self.config.seed)
+
+    def _arm_adversary(self) -> None:
+        """Arm the adversary on this simulation (scale-out arms per partition)."""
+        if self.adversary is not None:
+            self.adversary.arm(self)
+
+    def _initial_replica_map(self) -> Dict[int, int]:
+        """Logical node id -> physical node id of the construction assignment."""
+        mapping: Dict[int, int] = {}
+        for committee in self.assignment.committees:
+            cluster = self.shards[committee.shard_id]
+            for logical, replica in zip(committee.members, cluster.replicas):
+                mapping[logical] = replica.node_id
+        return mapping
 
     def _benchmark_registry(self) -> ChaincodeRegistry:
         registry = ChaincodeRegistry()
@@ -501,7 +554,7 @@ class ShardedBlockchain:
                 self._finish(record)
 
         self._watch(tx, on_receipt)
-        self._relay(lambda: self.shards[shard_id].submit([tx]))
+        self._relay_shard_single(shard_id, tx)
         if self.config.prepare_timeout is not None:
             self.sim.schedule(self.config.prepare_timeout,
                               self._check_single_shard_deadline, tx.tx_id)
@@ -529,9 +582,8 @@ class ShardedBlockchain:
         shard_id = record.shards[0]
         self.coordinator.mark_redriven(record)
         record.prepare_deadline = self.sim.now + self.config.prepare_timeout
-        attempt = record.redrives
-        self._relay(lambda: self.shards[shard_id].submit([record.transaction],
-                                                         attempt=attempt))
+        self._relay_shard_single(shard_id, record.transaction,
+                                 attempt=record.redrives)
         self.sim.schedule(self.config.prepare_timeout,
                           self._check_single_shard_deadline, tx_id)
 
@@ -586,6 +638,17 @@ class ShardedBlockchain:
         if self.config.prepare_timeout is not None:
             self.sim.schedule(self.config.prepare_timeout,
                               self._check_prepare_deadline, record.tx_id)
+
+    def _relay_shard_single(self, shard_id: int, tx: Transaction,
+                            attempt: int = 0) -> None:
+        """Relay one transaction to one shard after the client-relay delay.
+
+        Together with :meth:`_relay_cohort` this is the *complete* set of
+        parent-to-shard submission sites, which is what lets the scale-out
+        engine override the pair to route submissions across partition
+        boundaries instead.
+        """
+        self._relay(lambda: self.shards[shard_id].submit([tx], attempt=attempt))
 
     def _relay_cohort(self, group: List[Tuple[int, Transaction]],
                       extra_delay: float = 0.0, attempt: int = 0) -> None:
@@ -867,6 +930,22 @@ class ShardedBlockchain:
         self.sim.schedule(self.config.relay_delay, action)
 
     # ------------------------------------------------------------------- run
+    def advance(self, until: float, max_events: Optional[int] = None) -> None:
+        """Advance the deployment to simulated time ``until``.
+
+        The engine-neutral way to drive a system: drivers and the auditor go
+        through this instead of touching ``sim.run_batched`` directly, so the
+        scale-out engine can substitute its barrier loop.
+        """
+        self.sim.run_batched(until=until, max_events=max_events)
+
+    def pending_activity(self) -> bool:
+        """Whether any engine component still has events queued."""
+        return self.sim.pending_events > 0
+
+    def close(self) -> None:
+        """Release engine resources (worker processes); idempotent no-op here."""
+
     def run(self, duration: float, max_events: Optional[int] = None) -> ShardedRunResult:
         """Advance the simulation and summarise the coordinator statistics.
 
@@ -874,7 +953,7 @@ class ShardedBlockchain:
         observationally equivalent to the one-at-a-time loop but cheaper on
         message-heavy runs.
         """
-        self.sim.run_batched(until=self.sim.now + duration, max_events=max_events)
+        self.advance(self.sim.now + duration, max_events=max_events)
         return self.result(duration)
 
     def result(self, duration: float) -> ShardedRunResult:
@@ -900,6 +979,47 @@ class ShardedBlockchain:
             current_epoch=self.epochs.current_epoch,
             reconfigurations_completed=self.reconfigurations_completed,
         )
+
+    def shard_summaries(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard observable outcomes (engine-neutral)."""
+        summaries: Dict[int, Dict[str, int]] = {}
+        for shard_id, cluster in self.shards.items():
+            summaries[shard_id] = {
+                "committed": cluster.honest_observer().committed_transactions(),
+                "view_changes": int(cluster.monitor.counter_value(
+                    f"view_changes.shard{shard_id}")),
+            }
+        return summaries
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Exact observable outcome of the run so far.
+
+        Commit/abort totals plus per-shard committed counts and view-change
+        counts — all integers, so "equal fingerprints" means bit-identical
+        outcomes.  The scale-out engine guarantees this value is invariant
+        under the worker count and the barrier interval for a given
+        seed+config.
+        """
+        stats = self.coordinator.stats
+        summaries = self.shard_summaries()
+        return {
+            "committed": stats.committed,
+            "aborted": stats.aborted,
+            "started": stats.started,
+            "per_shard_committed": {shard_id: summaries[shard_id]["committed"]
+                                    for shard_id in sorted(summaries)},
+            "view_changes": {shard_id: summaries[shard_id]["view_changes"]
+                             for shard_id in sorted(summaries)},
+        }
+
+    def audit_clusters(self) -> Dict[int, ConsensusCluster]:
+        """The real shard clusters, for the auditor to attach observers to.
+
+        The scale-out engine overrides this to expose its inline partitions'
+        clusters (and to reject process-mode audits, where the replicas live
+        in other address spaces).
+        """
+        return dict(self.shards)
 
     # ------------------------------------------------- epochs/reconfiguration
     @property

@@ -108,6 +108,16 @@ class Simulator:
             )
         return self._queue.push(time, callback, args)
 
+    def advance_clock(self, until: float) -> None:
+        """Advance the clock to ``until`` without running events.
+
+        ``run``/``run_batched`` only move the clock to their bound when
+        events are pending; the scale-out barrier loop uses this to pin a
+        drained simulation's clock at the window end, so every partition and
+        the parent agree on "now" at each barrier.
+        """
+        self._now = max(self._now, until)
+
     def is_last_scheduled(self, event: Event) -> bool:
         """True iff ``event`` is the most recently scheduled and still pending.
 

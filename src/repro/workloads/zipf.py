@@ -12,6 +12,7 @@ import random
 from typing import List, Optional
 
 from repro.errors import WorkloadError
+from repro.workloads import vectorized
 
 
 class ZipfGenerator:
@@ -31,6 +32,8 @@ class ZipfGenerator:
         self.coefficient = coefficient
         self._rng = rng or random.Random(seed)
         self._cdf = self._build_cdf()
+        #: numpy copy of the CDF, built lazily on the first block draw.
+        self._cdf_array = None
 
     def _build_cdf(self) -> List[float]:
         weights = [1.0 / ((rank + 1) ** self.coefficient) for rank in range(self.population)]
@@ -47,6 +50,24 @@ class ZipfGenerator:
         """Draw one rank (0 = most popular)."""
         u = self._rng.random()
         return bisect.bisect_left(self._cdf, u)
+
+    def sample_block(self, count: int) -> List[int]:
+        """Draw ``count`` ranks, bit-identical to ``count`` :meth:`sample` calls.
+
+        The uniforms come from :func:`repro.workloads.vectorized.bulk_uniforms`
+        (numpy MT19937 fast path with an exact scalar fallback) and the CDF
+        inversion from ``np.searchsorted``, which computes exactly
+        ``bisect_left`` — so the rank stream, and the generator state left
+        behind, are the same whether numpy is installed or not.
+        """
+        if count <= 0:
+            return []
+        uniforms = vectorized.bulk_uniforms(self._rng, count)
+        if isinstance(uniforms, list):
+            return [bisect.bisect_left(self._cdf, u) for u in uniforms]
+        if self._cdf_array is None:
+            self._cdf_array = vectorized.np.asarray(self._cdf)
+        return vectorized.bulk_bisect_left(self._cdf, uniforms, self._cdf_array)
 
     def sample_many(self, count: int, distinct: bool = False) -> List[int]:
         """Draw ``count`` ranks, optionally forcing them to be distinct."""
