@@ -9,22 +9,26 @@ worker processes (``workers=4``), and gates on the engine's whole contract:
    commit/abort/view-change fingerprint to the ``workers=1`` run of the same
    seed.  This is the hard gate; a violation means the barrier exchange
    leaked ordering.
-2. **Speedup** — ``workers=4`` must be ≥ 1.8x faster in wall-clock time than
-   ``workers=1`` on runners with ≥ 4 cpus.  The workload's partition-to-
-   coordination work ratio is ~6:1, so by Amdahl's law a 2-cpu host caps
-   out below 1.8x no matter how well the engine scales — there the floor
-   drops to 1.35x, and single-cpu hosts only report.
-   ``SCALEOUT_MIN_SPEEDUP`` overrides the ≥4-cpu floor.
-3. **Safety** — a :class:`~repro.audit.auditor.SafetyAuditor` attached to an
+2. **Speedup** — ``workers=4`` must be ≥ 2.4x faster in wall-clock time than
+   ``workers=1`` on runners with ≥ 4 cpus.  With 2PC coordination, lock
+   admission and workload generation all living inside the partitions
+   (``repro.core.homecoord``), the serial fraction is the parent's barrier
+   merge only, so near-linear scaling is the expectation, not the
+   aspiration.  2-cpu hosts are floor-limited to 1.5x by Amdahl's law;
+   single-cpu hosts only report.  ``SCALEOUT_MIN_SPEEDUP`` overrides the
+   ≥4-cpu floor.
+3. **Coordinator work share** — the parent tier's share of barrier-loop
+   wall-clock must stay < 20% on ≥4-cpu runners.  This is the tentpole
+   metric of the distributed-coordination design: the parent only merges
+   window outputs and runs epoch/adversary control.
+4. **Safety** — a :class:`~repro.audit.auditor.SafetyAuditor` attached to an
    inline run of the same config must settle and report zero violations.
    (Process-mode replicas live in other address spaces, so the audit runs on
    the ``workers=1`` twin — bit-identical to ``workers=4`` by gate 1.)
-4. **Throughput regression** — simulated committed tps must stay within 80%
-   of the committed baseline (``BENCH_scaleout_baseline.json``).
-
-The workload is sized so shard-side consensus dominates the parent-side
-coordination (large committees, no reference committee, vectorized workload
-generation): that ratio is what bounds the achievable speedup.
+5. **Throughput regression** — simulated committed tps must stay within 80%
+   of the committed baseline (``BENCH_scaleout_baseline.json``), and the
+   measured speedup is reported relative to the baseline's
+   (``speedup_vs_baseline``).
 
 Usage::
 
@@ -44,21 +48,23 @@ import time
 from repro.audit.auditor import SafetyAuditor
 from repro.core import OpenLoopDriver, ShardedSystemConfig, build_system
 from repro.ledger.transaction import rebase_tx_counter
-from repro.workloads.generator import WorkloadGenerator
 
 MODES = {
     # mode: (transactions, rate tps, shards, keys) — the key space scales
-    # with the offered load so 2PC lock contention stays moderate.
+    # with the offered load so 2PC lock contention stays moderate.  Full mode
+    # is the nightly soak: a million transactions across 16 shards.
     "quick": (6_000, 2_000.0, 8, 20_000),
-    "full": (50_000, 4_000.0, 16, 100_000),
+    "full": (1_000_000, 8_000.0, 16, 200_000),
 }
 
 # Sized so shard-side consensus dominates: 11-member committees (consensus
 # cost grows ~quadratically with the committee), no parent-resident reference
 # committee, and a relay delay that keeps the barrier-window count low.
+# ``max_series_samples`` bounds the monitor's time-series memory so the
+# million-transaction full mode runs in constant space.
 WORKLOAD = dict(committee_size=11, zipf_coefficient=0.0,
                 use_reference_committee=False, relay_delay=0.02,
-                retain_tx_records=False)
+                retain_tx_records=False, max_series_samples=512)
 
 
 def _make_system(workers: int, num_shards: int, num_keys: int, seed: int):
@@ -68,16 +74,13 @@ def _make_system(workers: int, num_shards: int, num_keys: int, seed: int):
     return build_system(config)
 
 
-def _make_driver(system, transactions: int, rate_tps: float, seed: int):
-    # Vectorized (numpy block-sampled) workload generation; the explicit seed
-    # keeps the stream identical across the runs being compared.
-    workload = WorkloadGenerator(
-        benchmark="smallbank", num_shards=system.config.num_shards,
-        zipf_coefficient=system.config.zipf_coefficient,
-        num_keys=system.config.num_keys, seed=seed * 7919 + 1, vectorized=True)
+def _make_driver(system, transactions: int, rate_tps: float):
+    # Workload generation happens inside the partitions (each worker draws
+    # its own per-shard split of the driver's stream); ``vectorized`` selects
+    # numpy block-sampling for the per-partition generators.
     return OpenLoopDriver(system, rate_tps=rate_tps,
                           max_transactions=transactions, batch_size=8,
-                          workload=workload)
+                          vectorized=True)
 
 
 def run_workers(workers: int, num_shards: int, num_keys: int, transactions: int,
@@ -87,7 +90,7 @@ def run_workers(workers: int, num_shards: int, num_keys: int, transactions: int,
     start = time.perf_counter()
     system = _make_system(workers, num_shards, num_keys, seed)
     auditor = SafetyAuditor(system) if audit else None
-    driver = _make_driver(system, transactions, rate_tps, seed)
+    driver = _make_driver(system, transactions, rate_tps)
     stats = driver.run_to_completion(drain_timeout=120.0)
     wall = time.perf_counter() - start
     result = {
@@ -102,6 +105,7 @@ def run_workers(workers: int, num_shards: int, num_keys: int, transactions: int,
                               if system.sim.now else 0.0),
         "committed_tps_wall": round(stats.committed / wall, 1),
         "wall_seconds": round(wall, 2),
+        "coordinator_work_share": round(system.coordinator_work_share, 4),
     }
     if auditor is not None:
         settled = auditor.settle()
@@ -137,22 +141,30 @@ def main(argv=None) -> int:
           f"cpus={cpus} shards={num_shards} txns={transactions} "
           f"workload={workload}")
 
-    inline = run_workers(1, num_shards, num_keys, transactions, rate, args.seed)
-    print(f"[bench] workers=1: {inline['committed']} committed / "
-          f"{inline['aborted']} aborted, {inline['wall_seconds']}s wall, "
-          f"{inline['committed_tps_wall']} committed/s wall")
+    # The parallel run goes first: its workers fork from a pristine parent
+    # heap.  Forking *after* an inline run would make every child fault-in
+    # copies of the dead inline system's pages (CPython refcounting writes
+    # to every object it touches, defeating copy-on-write) and bill that
+    # memory churn to the parallel run's wall clock.
     parallel = run_workers(args.workers, num_shards, num_keys, transactions,
                            rate, args.seed)
     print(f"[bench] workers={args.workers}: {parallel['committed']} committed / "
           f"{parallel['aborted']} aborted, {parallel['wall_seconds']}s wall, "
           f"{parallel['committed_tps_wall']} committed/s wall")
+    inline = run_workers(1, num_shards, num_keys, transactions, rate, args.seed)
+    print(f"[bench] workers=1: {inline['committed']} committed / "
+          f"{inline['aborted']} aborted, {inline['wall_seconds']}s wall, "
+          f"{inline['committed_tps_wall']} committed/s wall")
 
     fingerprint_match = inline["fingerprint"] == parallel["fingerprint"]
     speedup = (inline["wall_seconds"] / parallel["wall_seconds"]
                if parallel["wall_seconds"] else 0.0)
+    work_share = parallel["coordinator_work_share"]
     print(f"[bench] fingerprints: {'IDENTICAL' if fingerprint_match else 'DIVERGED'}")
     print(f"[bench] speedup at {args.workers} workers: {speedup:.2f}x "
           f"({inline['wall_seconds']}s -> {parallel['wall_seconds']}s)")
+    print(f"[bench] parent coordinator work share: {work_share:.1%} of the "
+          f"barrier loop")
 
     audited = run_workers(1, num_shards, num_keys, transactions, rate,
                           args.seed, audit=True)
@@ -160,6 +172,15 @@ def main(argv=None) -> int:
     print(f"[bench] audit (inline twin): settled={audit['settled']} "
           f"ok={audit['ok']} ({audit['blocks_audited']} blocks, "
           f"{audit['transactions_audited']} tx positions)")
+
+    reference = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline, encoding="utf-8") as handle:
+            reference = json.load(handle)
+    if reference is not None and reference.get("mode") != args.mode:
+        reference = None
+    speedup_vs_baseline = (round(speedup / reference["speedup"], 2)
+                           if reference and reference.get("speedup") else None)
 
     report = {
         "benchmark": "scaleout",
@@ -171,6 +192,8 @@ def main(argv=None) -> int:
         "runs": {"inline": inline, "parallel": parallel, "audited": audited},
         "fingerprint_match": fingerprint_match,
         "speedup": round(speedup, 2),
+        "coordinator_work_share": work_share,
+        "speedup_vs_baseline": speedup_vs_baseline,
     }
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -192,9 +215,9 @@ def main(argv=None) -> int:
         return 1
 
     if cpus >= 4:
-        min_speedup = float(os.environ.get("SCALEOUT_MIN_SPEEDUP", "1.8"))
+        min_speedup = float(os.environ.get("SCALEOUT_MIN_SPEEDUP", "2.4"))
     elif cpus >= 2:
-        min_speedup = 1.35  # Amdahl cap: 2 cpus can't reach 1.8x at P/C ~6
+        min_speedup = 1.5  # Amdahl cap: 2 cpus can't reach 2.4x
     else:
         min_speedup = None
     if min_speedup is not None:
@@ -207,11 +230,16 @@ def main(argv=None) -> int:
     else:
         print(f"[bench] speedup gate skipped: single-cpu host ({cpus} cpu)")
 
-    reference = None
-    if os.path.exists(args.baseline):
-        with open(args.baseline, encoding="utf-8") as handle:
-            reference = json.load(handle)
-    if reference and reference.get("mode") == args.mode:
+    if cpus >= 4:
+        print(f"[bench] gate: coordinator work share {work_share:.1%} vs "
+              f"ceiling 20.0%")
+        if work_share >= 0.20:
+            print(f"[bench] FAIL: parent coordinator work share {work_share:.1%}"
+                  f" >= 20% of the barrier loop — the parent tier is doing "
+                  f"partition work", file=sys.stderr)
+            return 1
+
+    if reference:
         committed_tps = inline["committed_tps_sim"]
         floor = 0.8 * reference["runs"]["inline"]["committed_tps_sim"]
         print(f"[bench] gate: {committed_tps} committed tps (sim) vs floor "
@@ -221,6 +249,10 @@ def main(argv=None) -> int:
                   f"{floor:.1f} (>20% regression vs committed baseline)",
                   file=sys.stderr)
             return 1
+        if speedup_vs_baseline is not None:
+            print(f"[bench] speedup vs committed baseline: "
+                  f"{speedup_vs_baseline}x (baseline {reference['speedup']}x "
+                  f"on {reference.get('cpus', '?')} cpus)")
     return 0
 
 

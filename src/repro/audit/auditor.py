@@ -218,12 +218,12 @@ class SafetyAuditor:
 
     # ------------------------------------------------------------- quiescence
     def is_quiescent(self) -> bool:
-        """Every transaction the coordinator began has completed."""
-        stats = self.system.coordinator.stats
+        """Every transaction the coordinators began has completed."""
+        stats = self.system.coordination_stats()
         return stats.started == stats.committed + stats.aborted
 
     def _progress_snapshot(self) -> tuple:
-        stats = self.system.coordinator.stats
+        stats = self.system.coordination_stats()
         per_shard = tuple(
             cluster.honest_observer().committed_transactions()
             for _, cluster in sorted(self._clusters.items()))

@@ -39,6 +39,8 @@ class DriverStats:
     aborted: int = 0
     in_flight: int = 0
     max_in_flight: int = 0
+    #: Arrivals dropped on the floor by the ``max_in_flight`` admission bound.
+    dropped_arrivals: int = 0
     latency_sum: float = 0.0
     latency_count: int = 0
     #: Abort counts bucketed by cause (lock-conflict, wait-timeout, deadlock,
@@ -63,6 +65,45 @@ class DriverStats:
     @property
     def mean_latency(self) -> float:
         return self.latency_sum / self.latency_count if self.latency_count else 0.0
+
+    def merge(self, other: "DriverStats") -> None:
+        """Fold another driver's counters into this one (scale-out merging)."""
+        self.submitted += other.submitted
+        self.committed += other.committed
+        self.aborted += other.aborted
+        self.in_flight += other.in_flight
+        self.max_in_flight += other.max_in_flight
+        self.dropped_arrivals += other.dropped_arrivals
+        self.latency_sum += other.latency_sum
+        self.latency_count += other.latency_count
+        for key, value in other.abort_reasons.items():
+            self.abort_reasons[key] = self.abort_reasons.get(key, 0) + value
+        for key, value in other.epoch_committed.items():
+            self.epoch_committed[key] = self.epoch_committed.get(key, 0) + value
+        for key, value in other.epoch_aborted.items():
+            self.epoch_aborted[key] = self.epoch_aborted.get(key, 0) + value
+
+
+def abort_bucket(reason: Optional[str]) -> str:
+    """Classify an abort reason into a small fixed set of buckets.
+
+    Module-level so both driver implementations — the legacy in-process one
+    below and the scale-out engine's in-partition
+    :class:`repro.core.homecoord.PartitionDriver` — bucket identically.
+    """
+    if reason is None:
+        return "other"
+    if "locked by" in reason:
+        return "lock-conflict"
+    if "wait timed out" in reason:
+        return "wait-timeout"
+    if "deadlock" in reason:
+        return "deadlock"
+    if "wounded" in reason:
+        return "wounded"
+    if "insufficient funds" in reason:
+        return "insufficient-funds"
+    return "other"
 
 
 class OpenLoopDriver:
@@ -100,7 +141,9 @@ class OpenLoopDriver:
                  max_in_flight: Optional[int] = None,
                  workload: Optional[WorkloadGenerator] = None,
                  client_id: str = "open-loop",
-                 stream_index: int = 0) -> None:
+                 stream_index: int = 0,
+                 vectorized: bool = False,
+                 vector_batch: int = 256) -> None:
         if rate_tps <= 0:
             raise ConfigurationError("rate_tps must be positive")
         if batch_size < 1:
@@ -113,27 +156,82 @@ class OpenLoopDriver:
         self.batch_size = batch_size
         self.max_in_flight = max_in_flight
         self.client_id = client_id
-        self.workload = workload or WorkloadGenerator(
-            benchmark=system.config.benchmark,
-            num_shards=system.config.num_shards,
-            zipf_coefficient=system.config.zipf_coefficient,
-            num_keys=system.config.num_keys,
-            seed=system.config.seed * 7919 + 1 + stream_index,
-        )
-        self.stats = DriverStats()
-        self.dropped_arrivals = 0
+        #: On the scale-out engine the arrival process itself moves into the
+        #: partitions: each partition draws its own per-shard split of this
+        #: driver's stream (see ``repro.core.homecoord.PartitionDriver``), so
+        #: the parent holds no generator at all — only a plain spec the
+        #: partitions rebuild their generators from.
+        self._delegated = bool(getattr(system, "IN_PARTITION_DRIVERS", False))
+        #: ``vectorized``/``vector_batch`` select block-sampled workload
+        #: generation (a different deterministic stream, see the generator);
+        #: in delegated mode they travel in the spec so every partition's
+        #: split uses the same sampling layout.
+        self._vectorized = vectorized
+        self._vector_batch = vector_batch
+        if self._delegated:
+            if workload is not None:
+                raise ConfigurationError(
+                    "the scale-out engine generates workloads in-partition "
+                    "from a config-derived spec; a custom WorkloadGenerator "
+                    "instance requires the legacy engine (workers=None)")
+            self.workload = None
+            self._workload_seed = system.config.seed * 7919 + 1 + stream_index
+        else:
+            self.workload = workload or WorkloadGenerator(
+                benchmark=system.config.benchmark,
+                num_shards=system.config.num_shards,
+                zipf_coefficient=system.config.zipf_coefficient,
+                num_keys=system.config.num_keys,
+                seed=system.config.seed * 7919 + 1 + stream_index,
+                vectorized=vectorized, vector_batch=vector_batch,
+            )
+        self._stats = DriverStats()
+        self._index: Optional[int] = None
         self._started = False
+
+    @property
+    def stats(self) -> DriverStats:
+        """This driver's aggregate statistics (merged across partitions)."""
+        if self._delegated and self._index is not None:
+            return self.system.driver_stats(self._index)
+        return self._stats
+
+    @property
+    def dropped_arrivals(self) -> int:
+        return self.stats.dropped_arrivals
+
+    def _spec(self) -> Dict[str, object]:
+        """The picklable description partitions rebuild this driver from."""
+        return {
+            "rate_tps": self.rate_tps,
+            "max_transactions": self.max_transactions,
+            "batch_size": self.batch_size,
+            "max_in_flight": self.max_in_flight,
+            "client_id": self.client_id,
+            "workload": {
+                "benchmark": self.system.config.benchmark,
+                "num_shards": self.system.config.num_shards,
+                "zipf_coefficient": self.system.config.zipf_coefficient,
+                "num_keys": self.system.config.num_keys,
+                "seed": self._workload_seed,
+                "vectorized": self._vectorized,
+                "vector_batch": self._vector_batch,
+            },
+        }
 
     # ---------------------------------------------------------------- driving
     def start(self) -> "OpenLoopDriver":
         """Begin the arrival process at the current simulated time."""
         if not self._started:
             self._started = True
-            self.system.sim.schedule(0.0, self._tick)
+            if self._delegated:
+                self._index = self.system.register_partition_driver(self._spec())
+            else:
+                self.system.sim.schedule(0.0, self._tick)
         return self
 
     def _tick(self) -> None:
-        stats = self.stats
+        stats = self._stats
         remaining = (None if self.max_transactions is None
                      else self.max_transactions - stats.submitted)
         if remaining is not None and remaining <= 0:
@@ -143,7 +241,7 @@ class OpenLoopDriver:
         for _ in range(count):
             if (self.max_in_flight is not None
                     and stats.in_flight >= self.max_in_flight):
-                self.dropped_arrivals += 1
+                stats.dropped_arrivals += 1
                 continue
             tx = self.workload.next_transaction(client_id=self.client_id, now=now)
             stats.submitted += 1
@@ -153,25 +251,8 @@ class OpenLoopDriver:
             self.system.submit_transaction(tx, on_complete=self._on_complete)
         self.system.sim.schedule(self.batch_size / self.rate_tps, self._tick)
 
-    @staticmethod
-    def _abort_bucket(reason: Optional[str]) -> str:
-        """Classify an abort reason into a small fixed set of buckets."""
-        if reason is None:
-            return "other"
-        if "locked by" in reason:
-            return "lock-conflict"
-        if "wait timed out" in reason:
-            return "wait-timeout"
-        if "deadlock" in reason:
-            return "deadlock"
-        if "wounded" in reason:
-            return "wounded"
-        if "insufficient funds" in reason:
-            return "insufficient-funds"
-        return "other"
-
     def _on_complete(self, record: DistributedTxRecord) -> None:
-        stats = self.stats
+        stats = self._stats
         stats.in_flight -= 1
         epoch = self.system.current_epoch
         if record.outcome is DistributedTxOutcome.COMMITTED:
@@ -180,7 +261,7 @@ class OpenLoopDriver:
         else:
             stats.aborted += 1
             stats.epoch_aborted[epoch] = stats.epoch_aborted.get(epoch, 0) + 1
-            bucket = self._abort_bucket(record.abort_reason)
+            bucket = abort_bucket(record.abort_reason)
             stats.abort_reasons[bucket] = stats.abort_reasons.get(bucket, 0) + 1
         latency = record.latency
         if latency is not None:
@@ -200,14 +281,16 @@ class OpenLoopDriver:
             raise ConfigurationError("run_to_completion requires max_transactions")
         self.start()
         # Drive through the engine-neutral advance API so the same loop works
-        # on the legacy engine and the scale-out barrier loop.
+        # on the legacy engine and the scale-out barrier loop.  One stats
+        # fetch per slice: in delegated mode each fetch is a worker RPC.
         system = self.system
         sim = system.sim
         submit_horizon = self.max_transactions / self.rate_tps
         system.advance(sim.now + submit_horizon, max_events=max_events)
         deadline = sim.now + drain_timeout
-        while self.stats.completed < self.stats.submitted and sim.now < deadline:
-            if not system.pending_activity():
+        while sim.now < deadline:
+            stats = self.stats
+            if stats.completed >= stats.submitted or not system.pending_activity():
                 break
             system.advance(min(sim.now + 1.0, deadline), max_events=max_events)
         return self.stats

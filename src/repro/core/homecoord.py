@@ -1,0 +1,993 @@
+"""Distributed 2PC coordination for the scale-out engine (home partitions).
+
+PR 6's scale-out engine moved shard consensus into partitions but left the
+whole coordination layer — the 2PC coordinator, the lock-admission mirror,
+the reference committee and the open-loop drivers — on the parent process,
+which serialized roughly a sixth of the total work.  This module distributes
+all of it:
+
+* Every transaction gets a deterministic **home partition**
+  (:func:`home_shard` — its first participating shard) that runs the full
+  coordinator state machine (:class:`HomeCoordinator`, a faithful port of
+  the legacy ``ShardedBlockchain`` coordination methods) inside the
+  partition's own sub-simulation.
+* Lock admission becomes **participant-side**: each partition keeps a local
+  :class:`~repro.txn.locks.LockManager` mirror of its own lock table and
+  votes PrepareNotOK on deadlocks/timeouts itself.  Wounds travel to the
+  victim's home as ordinary NotOK votes.  (Waits-for cycles that span
+  shards are no longer visible to any single detector — they resolve
+  through the wait timeout instead; per-shard cycles are still detected.)
+* Workload generation moves **in-partition** (:class:`PartitionDriver`):
+  each partition draws an independent stream seeded by a ``(seed,
+  shard_id)`` split and keeps exactly the draws whose first key it owns
+  (:meth:`~repro.workloads.generator.WorkloadGenerator.next_transaction_for_shard`),
+  so the stream depends only on the partition's identity — never on worker
+  grouping — and ``workers=1 == workers=N`` holds by construction.
+* Votes, decisions, re-drives, receipts and client handoffs flow between
+  partitions as ordinary barrier-window :class:`Command` records, batched
+  into one :class:`WindowBlock`/:class:`WindowResult` pickle per worker per
+  window.
+
+Determinism rules
+-----------------
+Every cross-partition message pays ``config.relay_delay`` (the engine's
+lookahead) before its destination acts — even a home messaging itself, so
+latency is uniform and independent of placement.  Cross-partition commands
+are *never* injected mid-window: both the parent and the worker groups hold
+them until the next window starts and inject them sorted by ``(due, src,
+seq)``, a total order that depends only on what each partition did.  Each
+partition also owns a disjoint transaction-id stream
+(:func:`partition_tx_counter`), swapped into the process-global counter
+around every window, so ids never depend on which OS process drains which
+partition.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ShardedSystemConfig
+from repro.core.driver import DriverStats, abort_bucket
+from repro.core.splitters import splitter_for
+from repro.core.system import REFERENCE_SHARD_ID
+from repro.errors import SimulationError
+from repro.ledger.state import StateStore
+from repro.ledger.transaction import Transaction, TxStatus
+from repro.txn.coordinator import (
+    DistributedTxOutcome,
+    DistributedTxPhase,
+    DistributedTxRecord,
+    TwoPhaseCommitCoordinator,
+)
+from repro.txn.locks import DeadlockDetected, LockManager
+from repro.txn.reference_committee import CoordinatorState, ReferenceCommitteeChaincode
+from repro.workloads.generator import WorkloadGenerator, shard_of_key
+
+#: ``src``/``origin``/``dest`` value naming the parent barrier orchestrator.
+PARENT = -1
+
+
+def home_shard(shards) -> int:
+    """Deterministic home partition of a transaction: its first participating shard.
+
+    Pure function of the participating-shard set — independent of worker
+    count, arrival order, epoch reconfigurations (committee membership
+    changes never change *which* shards own a key) and simulation state, so
+    every partition and the parent agree on it without coordination.
+    """
+    return min(shards)
+
+
+def partition_tx_counter(shard_id: int) -> "itertools.count":
+    """The disjoint transaction-id stream owned by partition ``shard_id``.
+
+    Spaced 10^10 apart so no realistic run (the id streams also feed
+    splitter prepares, decisions and reference-committee votes) can make two
+    partitions' streams collide.  The parent keeps the process-default
+    stream (ids below 10^10).
+    """
+    return itertools.count((shard_id + 1) * 10_000_000_000)
+
+
+def partition_stream_seed(seed: int, shard_id: int) -> int:
+    """Per-partition split of a driver workload seed (distinct per shard)."""
+    return seed * 1_000_003 + 7_919 * shard_id + 17
+
+
+# --------------------------------------------------------------------------
+# Wire format.  Plain picklable dataclasses: process mode ships them over
+# pipes (one WindowBlock/WindowResult per worker per window), inline mode
+# passes the same objects in memory — same ordering rules, same outcomes.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Command:
+    """One cross-partition message, due at an exact simulated time.
+
+    ``src``/``seq`` are stamped by the emitting side (parent = ``PARENT``)
+    and give same-``due`` commands a canonical total order.  Ops:
+
+    * parent -> partition epoch/adversary control: ``remove``, ``admit``,
+      ``margin``, ``prepare``, ``track``;
+    * client handoff: ``client`` (owner/parent -> home),
+      ``client_done`` (home -> owning partition's driver);
+    * 2PC: ``prepare2pc`` (home -> participant), ``vote`` (participant ->
+      home), ``decision`` (home -> participant), ``ack`` (participant ->
+      home);
+    * reference committee: ``ref_submit`` (home -> ``REFERENCE_SHARD_ID``),
+      ``ref_receipt`` (reference -> home).
+    """
+
+    due: float
+    dest: int
+    op: str
+    src: int = PARENT
+    seq: int = -1
+    txs: Tuple[Transaction, ...] = ()
+    tx_id: str = ""
+    #: prepare2pc/decision: the home partition votes/acks go back to.
+    home: int = -1
+    #: client/client_done/vote/ack: the partition (or PARENT) that sent it.
+    origin: int = PARENT
+    ok: bool = True
+    reason: Optional[str] = None
+    attempt: int = 0
+    #: Wound-wait age priority ``(started_at, begin_seq, home_shard)`` — a
+    #: total order across homes (begin_seq alone is only per-home unique).
+    priority: Tuple = ()
+    committed: bool = False
+    latency: Optional[float] = None
+    epoch: int = 0
+    node_id: int = -1
+    logical: int = -1
+    transfer_override: Optional[float] = None
+    marker: int = -1
+    #: ref_submit: partition the eventual ref_receipt is addressed to.
+    reply_to: int = PARENT
+    #: ref_receipt: the reference committee's TransactionReceipt.
+    receipt: Any = None
+
+    def __reduce__(self):
+        # Positional-tuple pickling: commands dominate the barrier RPC
+        # payloads (each one crosses two pipes), and the default dict-based
+        # dataclass reduction is ~2x slower to load and ~35% larger on the
+        # wire.  Keep the tuple in field order — the framing unit test
+        # checks it stays in sync with the dataclass fields.
+        return (Command, (self.due, self.dest, self.op, self.src, self.seq,
+                          self.txs, self.tx_id, self.home, self.origin,
+                          self.ok, self.reason, self.attempt, self.priority,
+                          self.committed, self.latency, self.epoch,
+                          self.node_id, self.logical, self.transfer_override,
+                          self.marker, self.reply_to, self.receipt))
+
+
+@dataclass
+class TxDone:
+    """Partition -> parent completion report for a parent-submitted transaction."""
+
+    time: float
+    shard: int
+    seq: int
+    tx_id: str
+    committed: bool
+    abort_reason: Optional[str]
+    started_at: float
+    decided_at: Optional[float]
+    completed_at: Optional[float]
+
+
+@dataclass
+class AdmitReport:
+    """A destination partition executed an admit op: its transfer delay."""
+
+    time: float
+    shard: int
+    seq: int
+    marker: int
+    node_id: int
+    transfer: float
+
+
+@dataclass
+class MarginReport:
+    """A partition sampled its committee's active-minus-quorum margin."""
+
+    time: float
+    shard: int
+    seq: int
+    marker: int
+    margin: int
+
+
+@dataclass
+class WindowBlock:
+    """One parent -> worker barrier message: run every owned partition to
+    ``until`` with these inbound commands (already globally ordered)."""
+
+    until: float
+    epoch: int
+    commands: Tuple[Command, ...] = ()
+
+
+@dataclass
+class WindowResult:
+    """One worker -> parent barrier reply: parent-facing outputs plus the
+    cross-partition commands that left this worker's partition group."""
+
+    outputs: Tuple[Any, ...] = ()
+    routed: Tuple[Command, ...] = ()
+
+
+def inbound_sort_key(command: Command) -> Tuple[float, int, int]:
+    """Canonical injection order for inbound commands at a window start.
+
+    Depends only on what each partition (and the parent) emitted — never on
+    how partitions are grouped onto worker processes — which is the heart of
+    the workers=1 == workers=N guarantee.
+    """
+    return (command.due, command.src, command.seq)
+
+
+def group_by_dest(commands) -> Dict[int, List[Command]]:
+    """Split an ordered command sequence by destination, preserving order."""
+    by_dest: Dict[int, List[Command]] = {}
+    for command in commands:
+        by_dest.setdefault(command.dest, []).append(command)
+    return by_dest
+
+
+# --------------------------------------------------------------------------
+# Load-aware (but config-deterministic) partition -> worker assignment.
+# --------------------------------------------------------------------------
+
+def partition_weights(config: ShardedSystemConfig) -> Dict[int, float]:
+    """Deterministic per-partition work weight, computed once from config.
+
+    A shard partition's weight is its sampled share of the key space (its
+    consensus work scales with the keys it owns) plus the probability that a
+    uniform cross-shard pair homes there (``home = min`` skews coordination
+    work toward low shard ids: ``P(home = p) = (2(S - p) - 1) / S^2``).  The
+    reference-committee partition processes one BeginTx plus one vote per
+    participant for *every* cross-shard transaction, so it is weighted like
+    a busy shard of its own.  Nothing here reads runtime state — the same
+    config always produces the same weights, hence the same assignment.
+    """
+    shards = config.num_shards
+    counts = {shard: 0 for shard in range(shards)}
+    stride = max(1, config.num_keys // 20_000)
+    if config.benchmark == "smallbank":
+        from repro.workloads.smallbank import account_key
+
+        sampled = (account_key(str(index))
+                   for index in range(0, config.num_keys, stride))
+    else:
+        from repro.workloads.kvstore import KVStoreWorkload
+
+        workload = KVStoreWorkload(num_keys=config.num_keys)
+        sampled = (workload.key_name(index)
+                   for index in range(0, config.num_keys, stride))
+    total = 0
+    for key in sampled:
+        counts[shard_of_key(key, shards)] += 1
+        total += 1
+    weights: Dict[int, float] = {}
+    for shard, count in counts.items():
+        share = count / total if total else 1.0 / shards
+        home_probability = (2 * (shards - shard) - 1) / (shards * shards)
+        weights[shard] = share + home_probability
+    if config.use_reference_committee:
+        weights[REFERENCE_SHARD_ID] = 2.0 / shards
+    return weights
+
+
+def assign_partitions(shard_ids: List[int], workers: int,
+                      config: ShardedSystemConfig) -> List[List[int]]:
+    """Group partitions onto ``workers`` processes (some groups may be empty).
+
+    ``worker_assignment="modulo"`` keeps the legacy ``position % workers``
+    rule; ``"load"`` (the default) runs longest-processing-time greedy over
+    :func:`partition_weights`.  Both are pure functions of ``(shard_ids,
+    workers, config)``; grouping only decides which OS process drains a
+    partition, never the partition's event sequence, so both yield
+    bit-identical outcomes.
+    """
+    workers = max(1, workers)
+    groups: List[List[int]] = [[] for _ in range(workers)]
+    if config.worker_assignment == "modulo":
+        for position, shard_id in enumerate(shard_ids):
+            groups[position % workers].append(shard_id)
+        return groups
+    weights = partition_weights(config)
+    loads = [0.0] * workers
+    for shard_id in sorted(shard_ids,
+                           key=lambda sid: (-weights.get(sid, 1.0), sid)):
+        index = min(range(workers), key=lambda i: (loads[i], i))
+        loads[index] += weights.get(shard_id, 1.0)
+        groups[index].append(shard_id)
+    return [sorted(group) for group in groups]
+
+
+# --------------------------------------------------------------------------
+# In-partition open-loop driving.
+# --------------------------------------------------------------------------
+
+class PartitionDriver:
+    """One open-loop driver's arrival process, as partition ``shard_id`` runs it.
+
+    The parent-facing :class:`~repro.core.driver.OpenLoopDriver` splits into
+    ``num_shards`` of these (one per partition, each with ``rate / S`` and a
+    remainder-rule share of the caps).  Each draws from an independent
+    per-partition stream and submits only the transactions whose first key
+    the partition owns; transactions homed elsewhere are handed off with a
+    ``client`` command and complete through ``client_done``.
+    """
+
+    def __init__(self, partition: Any, index: int, spec: Dict[str, Any]) -> None:
+        self.partition = partition
+        self.index = index
+        shard_id = partition.shard_id
+        shards = partition.config.num_shards
+        total = spec.get("max_transactions")
+        self.max_transactions = (
+            None if total is None
+            else total // shards + (1 if shard_id < total % shards else 0))
+        self.rate_tps = spec["rate_tps"] / shards
+        self.batch_size = spec.get("batch_size", 1)
+        cap = spec.get("max_in_flight")
+        self.max_in_flight = (
+            None if cap is None
+            else max(1, cap // shards + (1 if shard_id < cap % shards else 0)))
+        self.client_id = f"{spec.get('client_id', 'open-loop')}@s{shard_id}"
+        wspec = spec["workload"]
+        self.workload = WorkloadGenerator(
+            benchmark=wspec["benchmark"],
+            num_shards=wspec["num_shards"],
+            zipf_coefficient=wspec["zipf_coefficient"],
+            num_keys=wspec["num_keys"],
+            seed=partition_stream_seed(wspec["seed"], shard_id),
+            vectorized=wspec.get("vectorized", False),
+            vector_batch=wspec.get("vector_batch", 256),
+        )
+        self.stats = DriverStats()
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.partition.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        stats = self.stats
+        remaining = (None if self.max_transactions is None
+                     else self.max_transactions - stats.submitted)
+        if remaining is not None and remaining <= 0:
+            return
+        count = (self.batch_size if remaining is None
+                 else min(self.batch_size, remaining))
+        now = self.partition.sim.now
+        for _ in range(count):
+            if (self.max_in_flight is not None
+                    and stats.in_flight >= self.max_in_flight):
+                stats.dropped_arrivals += 1
+                continue
+            tx = self.workload.next_transaction_for_shard(
+                self.partition.shard_id, client_id=self.client_id, now=now)
+            stats.submitted += 1
+            stats.in_flight += 1
+            if stats.in_flight > stats.max_in_flight:
+                stats.max_in_flight = stats.in_flight
+            self.partition.submit_from_driver(tx, self)
+        self.partition.sim.schedule(self.batch_size / self.rate_tps, self._tick)
+
+    # ------------------------------------------------------------ completion
+    def on_local_complete(self, record: DistributedTxRecord) -> None:
+        """The transaction's home was this partition: completion is direct."""
+        self._account(record.outcome is DistributedTxOutcome.COMMITTED,
+                      record.abort_reason, record.latency,
+                      self.partition.current_epoch)
+
+    def on_remote_done(self, command: Command) -> None:
+        """A ``client_done`` arrived from the remote home partition."""
+        self._account(command.committed, command.reason, command.latency,
+                      command.epoch)
+
+    def _account(self, committed: bool, reason: Optional[str],
+                 latency: Optional[float], epoch: int) -> None:
+        stats = self.stats
+        stats.in_flight -= 1
+        if committed:
+            stats.committed += 1
+            stats.epoch_committed[epoch] = stats.epoch_committed.get(epoch, 0) + 1
+        else:
+            stats.aborted += 1
+            stats.epoch_aborted[epoch] = stats.epoch_aborted.get(epoch, 0) + 1
+            bucket = abort_bucket(reason)
+            stats.abort_reasons[bucket] = stats.abort_reasons.get(bucket, 0) + 1
+        if latency is not None:
+            stats.latency_sum += latency
+            stats.latency_count += 1
+
+
+# --------------------------------------------------------------------------
+# The distributed coordinator.
+# --------------------------------------------------------------------------
+
+@dataclass
+class _Parked:
+    """A PrepareTx parked in this partition's admission mirror, waiting."""
+
+    tx_id: str
+    prepare_tx: Transaction
+    home: int
+    attempt: int
+    keys_outstanding: Set[str]
+
+
+class HomeCoordinator:
+    """Both coordination roles of one shard partition.
+
+    **Home role** — the full 2PC coordinator state machine for every
+    transaction homed here: a faithful port of the legacy
+    ``ShardedBlockchain`` coordination methods with each parent<->shard
+    relay replaced by a routed :class:`Command` (and the reference committee
+    reached through ``ref_submit``/``ref_receipt`` instead of a same-
+    simulation cluster).  Fault scenarios are per-home deep copies, so their
+    counters depend only on this partition's own history.
+
+    **Participant role** — this shard's half of other homes' transactions:
+    local lock admission (the legacy ``_LockAdmission`` mirror, un-namespaced
+    because it only ever sees this shard's keys), prepare execution and
+    voting, decision execution and acking.
+
+    The ``partition`` object supplies the runtime surface: ``sim``,
+    ``config``, ``shard_id``, ``cluster``, ``adversary``, ``current_epoch``,
+    ``route(command)``, ``watch(tx_id, callback)`` and
+    ``emit_tx_done(record)``.
+    """
+
+    def __init__(self, partition: Any) -> None:
+        self.partition = partition
+        self.config: ShardedSystemConfig = partition.config
+        self.sim = partition.sim
+        self.shard_id: int = partition.shard_id
+        self.coordinator = TwoPhaseCommitCoordinator(
+            self.config.use_reference_committee,
+            retain_records=self.config.retain_tx_records,
+            prepare_timeout=self.config.prepare_timeout)
+        self.splitter = splitter_for(self.config.benchmark)
+        #: Per-home fault copy: hook counters (drop budgets, crash counts)
+        #: advance with this partition's own transaction history only.
+        self.fault = copy.deepcopy(self.config.fault_scenario)
+        if self.fault is not None:
+            self.fault.bind(partition)
+        #: tx_id -> local completion callback, or the origin partition id
+        #: (PARENT for parent-submitted transactions).
+        self._completion: Dict[str, Any] = {}
+        self._decisions_sent: Dict[str, Set[int]] = {}
+        self._ref_watchers: Dict[str, Callable] = {}
+        # Participant-side admission mirror (queueing policies only).
+        self.manager: Optional[LockManager] = (
+            LockManager(StateStore(), policy=self.config.conflict_policy,
+                        on_grant=self._on_lock_grant,
+                        detect_deadlocks=self.config.deadlock_detection)
+            if self.config.conflict_policy != "abort" else None)
+        self._tx_home: Dict[str, int] = {}
+        self._tx_keys: Dict[str, Tuple[str, ...]] = {}
+        self._parked: Dict[str, _Parked] = {}
+        self.wounded_transactions = 0
+        self.deadlocks_detected = 0
+        self.wait_timeouts = 0
+
+    # ----------------------------------------------------------------- routing
+    def shard_of(self, key: str) -> int:
+        return shard_of_key(key, self.config.num_shards)
+
+    def shards_for_transaction(self, tx: Transaction) -> List[int]:
+        try:
+            return self.splitter.shards_touched(tx, self.shard_of)
+        except Exception:
+            shards = {self.shard_of(key) for key in tx.keys}
+            return sorted(shards) if shards else [0]
+
+    def _route(self, **kwargs: Any) -> None:
+        self.partition.route(Command(**kwargs))
+
+    def _submit_cluster_later(self, tx: Transaction, attempt: int = 0) -> None:
+        """Submit to this partition's own cluster after the uniform relay delay.
+
+        Even self-targeted hops pay ``relay_delay`` so message latency never
+        depends on whether a participant happens to be its own home.
+        """
+        self.sim.schedule(self.config.relay_delay,
+                          lambda: self.partition.cluster.submit([tx], attempt=attempt))
+
+    # ------------------------------------------------------------ home: submit
+    def submit_transaction(self, tx: Transaction,
+                           on_complete: Optional[Callable[[DistributedTxRecord], None]] = None,
+                           origin: Optional[int] = None) -> DistributedTxRecord:
+        """Coordinate a benchmark transaction homed at this partition."""
+        shards = self.shards_for_transaction(tx)
+        if home_shard(shards) != self.shard_id:  # pragma: no cover - protocol bug guard
+            raise SimulationError(
+                f"transaction {tx.tx_id!r} homed at {home_shard(shards)} "
+                f"submitted to partition {self.shard_id}")
+        record = self.coordinator.begin(tx, shards, now=self.sim.now)
+        if on_complete is not None:
+            self._completion[tx.tx_id] = on_complete
+        elif origin is not None:
+            self._completion[tx.tx_id] = origin
+        if not record.is_cross_shard:
+            self._submit_single_shard(record)
+            return record
+        if (self.fault is not None and not self.coordinator.crashed
+                and self.fault.crash_coordinator(record, "prepare")):
+            self._crash_coordinator()
+        if self.config.use_reference_committee:
+            self._submit_begin_tx(record)
+        else:
+            self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
+            self._send_prepares(record)
+        return record
+
+    def handle_client(self, command: Command) -> None:
+        """A transaction homed here arrived from its owner (or the parent)."""
+        self.submit_transaction(command.txs[0], origin=command.origin)
+
+    # ----------------------------------------------------- home: single shard
+    def _submit_single_shard(self, record: DistributedTxRecord) -> None:
+        tx = record.transaction
+        self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
+
+        def on_receipt(receipt: Any) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            self.coordinator.record_prepare_vote(tx.tx_id, self.shard_id, ok,
+                                                 now=self.sim.now,
+                                                 reason=receipt.error)
+            self.coordinator.record_commit_ack(tx.tx_id, self.shard_id,
+                                               now=self.sim.now)
+            if record.phase is DistributedTxPhase.DONE:
+                self._finish(record)
+
+        self.partition.watch(tx.tx_id, on_receipt)
+        self._submit_cluster_later(tx)
+        if self.config.prepare_timeout is not None:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_single_shard_deadline, tx.tx_id)
+
+    def _check_single_shard_deadline(self, tx_id: str) -> None:
+        """Re-submit a single-shard transaction whose receipt never came."""
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE or record.prepare_votes):
+            return
+        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
+            delay = (record.prepare_deadline - self.sim.now
+                     if record.prepare_deadline is not None
+                     else self.config.prepare_timeout)
+            self.sim.schedule(max(delay, 1e-9),
+                              self._check_single_shard_deadline, tx_id)
+            return
+        self.coordinator.mark_redriven(record)
+        record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+        self._submit_cluster_later(record.transaction, attempt=record.redrives)
+        self.sim.schedule(self.config.prepare_timeout,
+                          self._check_single_shard_deadline, tx_id)
+
+    # ------------------------------------------------------ home: cross shard
+    def _route_ref(self, ref_tx: Transaction, attempt: int) -> None:
+        self._route(due=self.sim.now + self.config.relay_delay,
+                    dest=REFERENCE_SHARD_ID, op="ref_submit", txs=(ref_tx,),
+                    reply_to=self.shard_id, attempt=attempt)
+
+    def handle_ref_receipt(self, command: Command) -> None:
+        watcher = self._ref_watchers.pop(command.tx_id, None)
+        if watcher is not None:
+            watcher(command.receipt)
+
+    def _submit_begin_tx(self, record: DistributedTxRecord) -> None:
+        if self.coordinator.crashed:
+            return  # recovery restarts records still in BEGINNING
+        chaincode = ReferenceCommitteeChaincode()
+        begin = chaincode.new_transaction(
+            "beginTx", {"tx_id": record.tx_id, "num_committees": len(record.shards)},
+            client_id=record.transaction.client_id,
+        )
+
+        def on_receipt(receipt: Any) -> None:
+            self.coordinator.mark_begin_executed(record.tx_id, now=self.sim.now)
+            self._send_prepares(record)
+
+        self._ref_watchers[begin.tx_id] = on_receipt
+        self._route_ref(begin, attempt=record.redrives)
+
+    def _send_prepares(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        """Route the per-shard PrepareTx cohort (fault-aware; admission is
+        participant-side, so prepares always leave the home immediately)."""
+        if self.coordinator.crashed:
+            return  # recovery re-drives undecided transactions
+        prepares = self.splitter.prepare_transactions(record.transaction,
+                                                      self.shard_of)
+        if only_shards is not None:
+            prepares = {shard: tx for shard, tx in prepares.items()
+                        if shard in only_shards}
+        for shard_id in sorted(prepares):
+            extra_delay = 0.0
+            if self.fault is not None:
+                if self.fault.drop_prepare(record, shard_id):
+                    continue  # the prepare-deadline re-drive recovers this
+                extra_delay = self.fault.prepare_delay(record, shard_id)
+            self._route(due=self.sim.now + self.config.relay_delay + extra_delay,
+                        dest=shard_id, op="prepare2pc", txs=(prepares[shard_id],),
+                        tx_id=record.tx_id, home=self.shard_id,
+                        attempt=record.redrives,
+                        priority=(record.started_at, record.begin_seq,
+                                  self.shard_id))
+        if self.config.prepare_timeout is not None:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, record.tx_id)
+
+    # ------------------------------------------------------------- home: votes
+    def handle_vote(self, command: Command) -> None:
+        """A participant's prepare vote arrived (step 1b)."""
+        tx_id, shard_id, ok = command.tx_id, command.origin, command.ok
+        record = self.coordinator.records.get(tx_id)
+        if record is None:
+            # Pruned (stale vote) or unknown while crashed: bookkeeping only.
+            # The fault hooks and the reference submission need a live record
+            # — documented deviation from the legacy engine, which never saw
+            # votes for pruned records because its watchers died with them.
+            if not self.coordinator.retain_records or self.coordinator.crashed:
+                self.coordinator.record_prepare_vote(tx_id, shard_id, ok,
+                                                     now=self.sim.now,
+                                                     reason=command.reason)
+            return
+        if self.fault is not None and self.fault.drop_vote(record, shard_id, ok):
+            return  # vote lost; the prepare-deadline re-drive recovers
+        self._handle_prepare_outcome(record, shard_id, ok, command.reason)
+
+    def _handle_prepare_outcome(self, record: DistributedTxRecord, shard_id: int,
+                                ok: bool, reason: Optional[str]) -> None:
+        if self.config.use_reference_committee:
+            self._submit_vote(record, shard_id, ok, reason)
+        else:
+            before = record.outcome
+            self._record_vote(record, shard_id, ok, reason)
+            if (record.outcome is not DistributedTxOutcome.PENDING
+                    and before is DistributedTxOutcome.PENDING):
+                self._send_decision(record)
+
+    def _record_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
+                                             now=self.sim.now, reason=reason)
+        if self.fault is not None:
+            duplicates = self.fault.duplicate_votes(record, shard_id, ok)
+            for index in range(duplicates):
+                self.sim.schedule(
+                    self.fault.stale_delay() * (index + 1),
+                    self._replay_vote, record.tx_id, shard_id, ok, reason)
+
+    def _replay_vote(self, tx_id: str, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        """A stale duplicate vote arrives (idempotent-or-rejected)."""
+        if self.coordinator.retain_records and tx_id not in self.coordinator.records:
+            return
+        self.coordinator.record_prepare_vote(tx_id, shard_id, ok,
+                                             now=self.sim.now, reason=reason)
+
+    def _submit_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
+                     reason: Optional[str]) -> None:
+        chaincode = ReferenceCommitteeChaincode()
+        vote = chaincode.new_transaction(
+            "prepareOK" if ok else "prepareNotOK",
+            {"tx_id": record.tx_id, "shard_id": shard_id},
+            client_id=record.transaction.client_id,
+        )
+
+        def on_receipt(receipt: Any) -> None:
+            before = record.outcome
+            self._record_vote(record, shard_id, ok, reason)
+            decided_state = None
+            if receipt.result and isinstance(receipt.result, dict):
+                decided_state = receipt.result.get("state")
+            decided = record.outcome is not DistributedTxOutcome.PENDING
+            if decided and before is DistributedTxOutcome.PENDING:
+                # Sanity: the replicated state machine must agree with the
+                # local bookkeeping (both implement Figure 6).
+                if decided_state == CoordinatorState.ABORTED.value:
+                    assert record.outcome is DistributedTxOutcome.ABORTED
+                self._send_decision(record)
+
+        self._ref_watchers[vote.tx_id] = on_receipt
+        self._route_ref(vote, attempt=record.redrives)
+
+    # --------------------------------------------------------- home: decision
+    def _send_decision(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        if self.coordinator.crashed:
+            return  # recovery re-drives decided-but-unsent decisions
+        if (self.fault is not None
+                and self.fault.crash_coordinator(record, "decide")):
+            self._crash_coordinator()
+            return  # decided but unsent: re-driven at recovery
+        committed = record.outcome is DistributedTxOutcome.COMMITTED
+        if committed:
+            per_shard = self.splitter.commit_transactions(record.transaction,
+                                                          self.shard_of)
+        else:
+            per_shard = self.splitter.abort_transactions(record.transaction,
+                                                         self.shard_of)
+        if only_shards is not None:
+            per_shard = {shard: tx for shard, tx in per_shard.items()
+                         if shard in only_shards}
+        sent = self._decisions_sent.setdefault(record.tx_id, set())
+        for shard_id in sorted(per_shard):
+            sent.add(shard_id)
+            extra_delay = (self.fault.decision_delay(record, shard_id)
+                           if self.fault is not None else 0.0)
+            self._route(due=self.sim.now + self.config.relay_delay + extra_delay,
+                        dest=shard_id, op="decision", txs=(per_shard[shard_id],),
+                        tx_id=record.tx_id, home=self.shard_id,
+                        attempt=record.redrives)
+        if self.partition.adversary is not None and self.config.prepare_timeout is not None:
+            # Under an armed adversary a decision's first-contact member may
+            # swallow it; the deadline re-drives it through a rotated member.
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_decision_deadline, record.tx_id)
+
+    def handle_ack(self, command: Command) -> None:
+        """A participant executed its CommitTx/AbortTx and acked (step 2)."""
+        tx_id, shard_id = command.tx_id, command.origin
+        record = self.coordinator.records.get(tx_id)
+        self.coordinator.record_commit_ack(tx_id, shard_id, now=self.sim.now)
+        if record is None:
+            return  # pruned (stale ack) — counted by the coordinator
+        if self.fault is not None:
+            duplicates = self.fault.duplicate_acks(record, shard_id)
+            for index in range(duplicates):
+                self.sim.schedule(self.fault.stale_delay() * (index + 1),
+                                  self._replay_ack, tx_id, shard_id)
+        if record.all_acks_in:
+            self._finish(record)
+
+    def _replay_ack(self, tx_id: str, shard_id: int) -> None:
+        """A stale duplicate commit ack arrives (a counted no-op)."""
+        if self.coordinator.retain_records and tx_id not in self.coordinator.records:
+            return
+        self.coordinator.record_commit_ack(tx_id, shard_id, now=self.sim.now)
+
+    # ------------------------------------------- home: re-drives and recovery
+    def _check_decision_deadline(self, tx_id: str) -> None:
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.phase is DistributedTxPhase.DONE
+                or record.outcome is DistributedTxOutcome.PENDING):
+            return
+        if self.coordinator.crashed:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_decision_deadline, tx_id)
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.commit_acks]
+        if missing:
+            self.coordinator.mark_redriven(record)
+            self._send_decision(record, only_shards=missing)
+
+    def _check_prepare_deadline(self, tx_id: str) -> None:
+        """The prepare deadline passed: re-drive the shards with missing votes.
+
+        Unlike the legacy engine, the home cannot see which participants are
+        merely parked in their local admission queues, so it re-drives every
+        missing-vote shard; participants ignore re-driven prepares for
+        transactions they are still waiting or already admitted on, which
+        makes the re-drive a no-op exactly where the legacy skip applied.
+        """
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE):
+            return
+        if self.coordinator.crashed:
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, tx_id)
+            return
+        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
+            delay = (record.prepare_deadline - self.sim.now
+                     if record.prepare_deadline is not None
+                     else self.config.prepare_timeout)
+            self.sim.schedule(max(delay, 1e-9), self._check_prepare_deadline, tx_id)
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.prepare_votes]
+        if missing:
+            self.coordinator.mark_redriven(record)
+            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+            self._send_prepares(record, only_shards=missing)
+        else:
+            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+            self.sim.schedule(self.config.prepare_timeout,
+                              self._check_prepare_deadline, tx_id)
+
+    def _crash_coordinator(self) -> None:
+        if self.coordinator.crashed:
+            return  # one recovery is already scheduled
+        self.coordinator.crash()
+        delay = self.fault.recovery_delay() if self.fault is not None else 1.0
+        self.sim.schedule(delay, self._recover_coordinator)
+
+    def _recover_coordinator(self) -> None:
+        """Replay buffered votes/acks, then re-drive unfinished transactions."""
+        if not self.coordinator.crashed:
+            return
+        report = self.coordinator.recover(now=self.sim.now)
+        for record in report.completed:
+            self._finish(record)
+        for record in report.restart:
+            self.coordinator.mark_redriven(record)
+            if (record.phase is DistributedTxPhase.BEGINNING
+                    and self.config.use_reference_committee):
+                self._submit_begin_tx(record)
+                continue
+            missing = [shard for shard in record.shards
+                       if shard not in record.prepare_votes]
+            self._send_prepares(record, only_shards=missing or list(record.shards))
+        for record in report.redrive:
+            sent = self._decisions_sent.get(record.tx_id, set())
+            unsent = [shard for shard in record.shards
+                      if shard not in record.commit_acks and shard not in sent]
+            if unsent:
+                self.coordinator.mark_redriven(record)
+                self._send_decision(record, only_shards=unsent)
+
+    # ------------------------------------------------------- home: completion
+    def _finish(self, record: DistributedTxRecord) -> None:
+        self._decisions_sent.pop(record.tx_id, None)
+        target = self._completion.pop(record.tx_id, None)
+        if target is None:
+            return  # already reported, or fire-and-forget
+        if callable(target):
+            target(record)
+        elif target == PARENT:
+            self.partition.emit_tx_done(record)
+        else:
+            self._route(due=self.sim.now + self.config.relay_delay,
+                        dest=target, op="client_done", tx_id=record.tx_id,
+                        committed=record.outcome is DistributedTxOutcome.COMMITTED,
+                        reason=record.abort_reason, latency=record.latency,
+                        epoch=self.partition.current_epoch)
+
+    # --------------------------------------------------------- participant role
+    def handle_prepare(self, command: Command) -> None:
+        """A home's PrepareTx arrived: admit it against the local lock mirror."""
+        tx_id = command.tx_id
+        prepare_tx = command.txs[0]
+        self._tx_home[tx_id] = command.home
+        if self.manager is None:
+            # First-conflict-aborts policy: the on-chain lock check is the
+            # admission, exactly as in the legacy engine.
+            self._launch_prepare(prepare_tx, tx_id, command.home, command.attempt)
+            return
+        if tx_id in self._parked:
+            return  # still waiting for locks; the original will vote
+        if tx_id in self._tx_keys:
+            # Re-driven prepare for an already-admitted transaction (its vote
+            # went missing): lock re-acquisition is re-entrant, so simply
+            # re-execute through a rotated member and re-vote.
+            self._launch_prepare(prepare_tx, tx_id, command.home, command.attempt)
+            return
+        keys = tuple(prepare_tx.keys)
+        self._tx_keys[tx_id] = keys
+        now = self.sim.now
+        outstanding: Set[str] = set()
+        wounded: List[str] = []
+        try:
+            for key in keys:
+                result = self.manager.acquire(key, tx_id, now=now,
+                                              timestamp=tuple(command.priority))
+                wounded.extend(result.wounded)
+                if not result.granted:
+                    outstanding.add(key)
+        except DeadlockDetected:
+            self.deadlocks_detected += 1
+            self.manager.cancel_wait(tx_id)
+            self._wound_victims(wounded)
+            # Partial grants stay held until the abort decision executes.
+            self._send_vote(tx_id, command.home, False,
+                            "deadlock detected in the waits-for graph")
+            return
+        self._wound_victims(wounded)
+        if not outstanding:
+            self._launch_prepare(prepare_tx, tx_id, command.home, command.attempt)
+            return
+        self._parked[tx_id] = _Parked(tx_id=tx_id, prepare_tx=prepare_tx,
+                                      home=command.home, attempt=command.attempt,
+                                      keys_outstanding=outstanding)
+        self.sim.schedule(self.config.wait_timeout, self._check_wait_timeout, tx_id)
+
+    def _launch_prepare(self, prepare_tx: Transaction, tx_id: str, home: int,
+                        attempt: int) -> None:
+        def on_receipt(receipt: Any) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            self._send_vote(tx_id, home, ok, receipt.error)
+
+        self.partition.watch(prepare_tx.tx_id, on_receipt)
+        self.partition.cluster.submit([prepare_tx], attempt=attempt)
+
+    def _on_lock_grant(self, tx_id: str, key: str) -> None:
+        parked = self._parked.get(tx_id)
+        if parked is None:
+            return
+        parked.keys_outstanding.discard(key)
+        if not parked.keys_outstanding:
+            # The grant notification pays the relay hop (mirroring the legacy
+            # dispatch relay); the launch re-checks _parked so a decision
+            # arriving in between cancels it.
+            self.sim.schedule(self.config.relay_delay, self._launch_parked, tx_id)
+
+    def _launch_parked(self, tx_id: str) -> None:
+        parked = self._parked.pop(tx_id, None)
+        if parked is None:
+            return  # decided (or timed out) while the grant was in flight
+        self._launch_prepare(parked.prepare_tx, tx_id, parked.home, parked.attempt)
+
+    def _check_wait_timeout(self, tx_id: str) -> None:
+        parked = self._parked.get(tx_id)
+        if parked is None or not parked.keys_outstanding:
+            return  # admitted (or a launch is already scheduled)
+        del self._parked[tx_id]
+        self.wait_timeouts += 1
+        for key in parked.keys_outstanding:
+            self.manager.cancel_wait(tx_id, key)
+        self._send_vote(tx_id, parked.home, False,
+                        f"lock wait timed out after {self.config.wait_timeout}s")
+
+    def _wound_victims(self, wounded: List[str]) -> None:
+        for victim in wounded:
+            self.wounded_transactions += 1
+            self._wound(victim)
+
+    def _wound(self, victim_tx_id: str) -> None:
+        """Wound-wait: abort the younger holder through its home's vote path.
+
+        The wounding shard votes NotOK itself; if it already voted OK the
+        home records an equivocation and aborts the undecided transaction —
+        same terminal state as the legacy unvoted-shard preference.
+        """
+        home = self._tx_home.get(victim_tx_id)
+        if home is None:
+            return  # already decided and cleaned up locally
+        self._send_vote(victim_tx_id, home, False,
+                        "wounded by an older transaction")
+
+    def _send_vote(self, tx_id: str, home: int, ok: bool,
+                   reason: Optional[str]) -> None:
+        self._route(due=self.sim.now + self.config.relay_delay, dest=home,
+                    op="vote", tx_id=tx_id, origin=self.shard_id, ok=ok,
+                    reason=reason)
+
+    def handle_decision(self, command: Command) -> None:
+        """A home's CommitTx/AbortTx arrived: execute it and ack."""
+        tx_id = command.tx_id
+        decision_tx = command.txs[0]
+        home = command.home
+        parked = self._parked.pop(tx_id, None)
+        if parked is not None and self.manager is not None:
+            self.manager.cancel_wait(tx_id)
+
+        def on_receipt(receipt: Any) -> None:
+            if self.manager is not None:
+                self.manager.finish(tx_id)
+            self._tx_keys.pop(tx_id, None)
+            self._tx_home.pop(tx_id, None)
+            self._route(due=self.sim.now + self.config.relay_delay, dest=home,
+                        op="ack", tx_id=tx_id, origin=self.shard_id)
+
+        self.partition.watch(decision_tx.tx_id, on_receipt)
+        self.partition.cluster.submit([decision_tx], attempt=command.attempt)
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def stats(self):
+        return self.coordinator.stats

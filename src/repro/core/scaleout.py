@@ -4,63 +4,82 @@ The legacy :class:`~repro.core.system.ShardedBlockchain` drains every
 committee's events on one global simulation loop, so wall-clock time grows
 with the *total* work of all shards.  This module partitions the deployment
 — the paper's own structure makes the cut: committees only interact through
-the coordination layer, never directly — so shard-side consensus work can
-run on multiple cores while outcomes stay bit-identical for any worker
-count.
+the coordination layer, never directly — so both the consensus work *and*
+the coordination work run on multiple cores while outcomes stay
+bit-identical for any worker count.
+
+Two-tier architecture
+---------------------
+* Each shard committee becomes a :class:`ShardPartition`: its own
+  :class:`~repro.sim.simulator.Simulator`, :class:`~repro.sim.network.Network`
+  (and therefore its own jitter RNG stream), replicas, chaincode state —
+  **and** its share of the coordination layer.  Every cross-shard
+  transaction has a deterministic *home partition*
+  (:func:`repro.core.homecoord.home_shard` — its first participating shard)
+  whose :class:`~repro.core.homecoord.HomeCoordinator` runs the full 2PC
+  state machine for it; every partition also plays the participant role
+  (local lock admission, prepare/decision execution, voting) for other
+  homes' transactions.  The reference committee is partition
+  ``REFERENCE_SHARD_ID``, scheduled like any shard.
+* Workload generation is in-partition too: each partition draws its own
+  stream from a ``(seed, shard_id)`` split and keeps exactly the draws
+  whose first key it owns, so the arrival process never touches the parent.
+* The parent is a thin barrier orchestrator: it merges window outputs,
+  runs the epoch/adversary control machinery, forwards API-submitted
+  transactions to their homes, and gives the auditor access.  Its share of
+  each window (``coordinator_work_share``) is a small fraction of the
+  window time instead of a serial coordination bottleneck.
 
 Execution model (conservative synchronous PDES)
 -----------------------------------------------
-* Each shard committee becomes a :class:`ShardPartition`: its own
-  :class:`~repro.sim.simulator.Simulator`, :class:`~repro.sim.network.Network`
-  (and therefore its own jitter RNG stream), replicas, and chaincode state.
-* The parent keeps everything else: the 2PC coordinator, the reference
-  committee, lock admission, fault injection, the epoch machinery and the
-  drivers.
-* Every parent->shard interaction pays at least ``config.relay_delay``
-  before the shard acts, and every shard->parent interaction (commit
-  receipts, migration reports) is timestamped with its exact occurrence
-  time.  ``relay_delay`` is therefore a *lookahead*: within any window of
-  length ``barrier_interval <= relay_delay``, neither side can affect the
-  other's present, so windows can be executed independently.
-
-The barrier loop alternates strictly: partitions drain window ``(T, T+d]``
-first (commands buffered by the parent's previous window injected at their
-exact due times, in emission order), then their outputs are injected into
-the parent sorted by ``(time, shard, emission sequence)``, then the parent
-drains the same window — emitting the next round of commands.  Commands and
-outputs always carry exact event times, never barrier-aligned ones, which
-is why the fingerprint is invariant under both the barrier length and the
-worker count.
+Every cross-partition interaction — votes, decisions, re-drives, client
+handoffs, reference receipts, parent control — pays at least
+``config.relay_delay`` before the destination acts.  ``relay_delay`` is
+therefore a *lookahead*: within any window of length ``barrier_interval <=
+relay_delay``, no partition can affect another's present, so windows can be
+executed independently.  The barrier loop alternates strictly: partitions
+drain window ``(T, T+d]`` first (all inbound cross-partition commands
+injected at the window start, sorted by the canonical ``(due, src, seq)``
+order), then their parent-facing outputs are injected into the parent
+sorted by ``(time, shard, seq)``, then the parent drains the same window.
+Commands between partitions are exchanged as one batched
+:class:`~repro.core.homecoord.WindowBlock` /
+:class:`~repro.core.homecoord.WindowResult` pickle per worker per window —
+commands held by a worker for its own partitions never leave the process,
+but they are *also* only injected at the next window start, so grouping
+cannot change injection timing.
 
 Workers
 -------
-``workers=1`` drains all partitions inline in one process (the
-seed-faithful scale-out path, also the only mode the
-:class:`~repro.audit.auditor.SafetyAuditor` can attach to — it needs the
-replicas in its own address space).  ``workers=N`` forks N persistent
-worker processes, each owning a fixed subset of partitions
-(``shard % N == worker``), and exchanges pickled command/output batches
-over pipes once per barrier.  Because partitions are self-contained, the
-grouping of partitions onto workers cannot affect outcomes — which is the
-whole determinism argument: ``workers=N`` executes exactly the same
-per-partition event sequences as ``workers=1``.
+``workers=1`` drains all partitions inline in one process (the only mode
+the :class:`~repro.audit.auditor.SafetyAuditor` can attach to — it needs
+the replicas in its own address space).  ``workers=N`` forks N persistent
+worker processes, each owning a fixed partition subset chosen by
+:func:`~repro.core.homecoord.assign_partitions` (deterministic load-aware
+LPT by default, ``position % N`` under ``worker_assignment="modulo"``).
+Because partitions are self-contained and all cross-partition effects are
+window-batched, the grouping cannot affect outcomes: ``workers=N`` executes
+exactly the same per-partition event sequences as ``workers=1``.  Each
+partition additionally owns a disjoint transaction-id stream swapped into
+the process-global counter around its windows, so even transaction *ids*
+are grouping-invariant.
 
 Epoch transitions and the adversary cross partition boundaries, so they are
-decomposed into partition-local control operations: membership removal runs
-on the source partition, admission (including the budget-checked corruption
-decision, the state-transfer sizing and the activation timer) on the
-destination partition, with reports flowing back to the parent to pace the
-next swap batch.  The TEE rollback is armed directly on the partition that
-owns the victim shard, at its absolute configured times.
+decomposed into partition-local control operations exactly as before:
+membership removal runs on the source partition, admission (including the
+budget-checked corruption decision, the state-transfer sizing and the
+activation timer) on the destination partition, with reports flowing back
+to the parent to pace the next swap batch.  The TEE rollback is armed
+directly on the partition that owns the victim shard.
 
-Known tie-break caveat: an output injected at time ``t`` fires after parent
-events at ``t`` scheduled in earlier windows and before ones scheduled
-later in the same window.  In principle a parent event at exactly ``t``
-whose *scheduling* window straddles a barrier could order differently under
-a different ``barrier_interval``; in practice partition output times are
-sums of jittered network latencies and never collide with unrelated parent
-event times (the barrier-sweep property test verifies outcome invariance
-empirically).
+Known deviations from the legacy engine (documented, covered by tests):
+cross-shard waits-for cycles are invisible to any single partition's
+detector and resolve through the wait timeout instead (per-shard cycles are
+still detected); wound-wait ages are ``(started_at, begin_seq, home_shard)``
+tuples because ``begin_seq`` is only per-home unique; and reference-
+committee round trips pay two relay hops (home -> reference -> home) where
+the legacy parent paid one.  All are worker-count-invariant, which is the
+property the engine guarantees.
 """
 
 from __future__ import annotations
@@ -68,21 +87,45 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import multiprocessing
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.consensus.cluster import ConsensusCluster, member_node_id
 from repro.core.adversary import AdversaryState
 from repro.core.config import ShardedSystemConfig
+from repro.core.homecoord import (
+    PARENT,
+    AdmitReport,
+    Command,
+    HomeCoordinator,
+    MarginReport,
+    PartitionDriver,
+    TxDone,
+    WindowBlock,
+    WindowResult,
+    assign_partitions,
+    group_by_dest,
+    home_shard,
+    inbound_sort_key,
+    partition_tx_counter,
+)
 from repro.core.system import REFERENCE_SHARD_ID, ShardedBlockchain, ShardedRunResult
 from repro.errors import ConfigurationError, SimulationError
 from repro.ledger.chaincode import ChaincodeRegistry
-from repro.ledger.transaction import Transaction
+from repro.ledger.transaction import Transaction, swap_tx_counter
 from repro.sharding.assignment import assign_committees
 from repro.sharding.reconfiguration import state_transfer_seconds
 from repro.sim.latency import LanLatencyModel
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
+from repro.txn.coordinator import (
+    CoordinatorStats,
+    DistributedTxOutcome,
+    DistributedTxPhase,
+    DistributedTxRecord,
+)
+from repro.txn.reference_committee import ReferenceCommitteeChaincode
 from repro.workloads.kvstore import KVStoreWorkload
 from repro.workloads.smallbank import SmallbankWorkload
 
@@ -104,63 +147,6 @@ def _partition_seed(seed: int, shard_id: int) -> int:
     return seed * 1_000_003 + 7_919 * shard_id + 17
 
 
-# --------------------------------------------------------------------------
-# Cross-boundary messages.  Everything here is a plain picklable dataclass:
-# process mode ships these over pipes, inline mode passes them in memory —
-# same objects, same ordering rules, same outcomes.
-# --------------------------------------------------------------------------
-
-@dataclass
-class _Command:
-    """One parent->partition control operation, due at an exact time."""
-
-    due: float
-    shard: int
-    op: str  # "submit" | "remove" | "admit" | "margin" | "prepare" | "track"
-    txs: Tuple[Transaction, ...] = ()
-    attempt: int = 0
-    #: remove: the physical id leaving.  admit: the joiner id the parent
-    #: predicted from its slot mirror (cross-checked partition-side).
-    node_id: int = -1
-    logical: int = -1
-    transfer_override: Optional[float] = None
-    #: Correlates admit/margin reports with parent-side bookkeeping.
-    marker: int = -1
-
-
-@dataclass
-class _ReceiptsOut:
-    """Commit receipts observed on a partition at ``time``."""
-
-    time: float
-    shard: int
-    seq: int
-    receipts: Tuple[Any, ...]
-
-
-@dataclass
-class _AdmitReport:
-    """A destination partition executed an admit op: its transfer delay."""
-
-    time: float
-    shard: int
-    seq: int
-    marker: int
-    node_id: int
-    transfer: float
-
-
-@dataclass
-class _MarginReport:
-    """A partition sampled its committee's active-minus-quorum margin."""
-
-    time: float
-    shard: int
-    seq: int
-    marker: int
-    margin: int
-
-
 @dataclass
 class _BatchState:
     """Parent bookkeeping for one in-flight swap batch."""
@@ -173,47 +159,72 @@ class _BatchState:
 
 
 class ShardPartition:
-    """One shard's self-contained sub-simulation (runs wherever its worker is)."""
+    """One partition's self-contained sub-simulation (runs wherever its worker is).
+
+    A normal shard partition owns its committee's consensus plus both
+    coordination roles (home and participant, via
+    :class:`~repro.core.homecoord.HomeCoordinator`) and its split of every
+    open-loop driver.  The ``REFERENCE_SHARD_ID`` partition instead runs the
+    reference committee's cluster and serves ``ref_submit`` commands from
+    the homes.
+    """
 
     def __init__(self, config: ShardedSystemConfig, shard_id: int) -> None:
         self.config = config
         self.shard_id = shard_id
+        self.is_reference = shard_id == REFERENCE_SHARD_ID
         self.sim = Simulator(seed=_partition_seed(config.seed, shard_id))
         self.network = Network(self.sim, config.latency_model or LanLatencyModel())
+        self.current_epoch = 0
+        self._tx_counter = partition_tx_counter(shard_id)
         # The committee assignment and the adversary placement are pure
         # functions of the config, so every partition recomputes them and
-        # agrees with the parent without any state shipping.
+        # agrees with every other (and the parent) without state shipping.
         assignment = assign_committees(list(range(config.total_nodes)),
                                        config.num_shards, seed=config.seed)
         self.adversary: Optional[AdversaryState] = (
             AdversaryState.place(config, assignment)
             if config.adversary is not None else None)
+        byzantine = None
+        if self.adversary is not None:
+            byzantine = (self.adversary.reference_strategy if self.is_reference
+                         else self.adversary.strategy_for(shard_id))
         self.cluster = ConsensusCluster(
             protocol=config.protocol,
             n=config.committee_size,
             config_overrides=dict(config.consensus_overrides),
-            registry_factory=self._benchmark_registry,
+            registry_factory=self._registry_factory,
             regions=config.regions,
-            byzantine=(self.adversary.strategy_for(shard_id)
-                       if self.adversary is not None else None),
+            byzantine=byzantine,
             seed=config.seed + shard_id,
             shard_id=shard_id,
             sim=self.sim,
             network=self.network,
             max_series_samples=config.max_series_samples,
         )
-        self._populate()
         self._outbox: List[Any] = []
+        self._routed: List[Command] = []
         self._outseq = itertools.count()
+        self._watchers: Dict[str, Callable[[Any], None]] = {}
         self.cluster.subscribe_commits(self._on_commit)
-        if (self.adversary is not None
-                and self.adversary.config.tee_rollback_shard == shard_id):
-            self.adversary.arm_cluster(self.sim, self.cluster)
+        if self.is_reference:
+            self.home: Optional[HomeCoordinator] = None
+            self._reply_to: Dict[str, int] = {}
+        else:
+            self._populate()
+            self.home = HomeCoordinator(self)
+            self.drivers: Dict[int, PartitionDriver] = {}
+            self._remote_inflight: Dict[str, PartitionDriver] = {}
+            if (self.adversary is not None
+                    and self.adversary.config.tee_rollback_shard == shard_id):
+                self.adversary.arm_cluster(self.sim, self.cluster)
 
     # ------------------------------------------------------------ construction
-    def _benchmark_registry(self) -> ChaincodeRegistry:
+    def _registry_factory(self) -> ChaincodeRegistry:
         registry = ChaincodeRegistry()
-        if self.config.benchmark == "smallbank":
+        if self.is_reference:
+            registry.register(ReferenceCommitteeChaincode())
+        elif self.config.benchmark == "smallbank":
             registry.register(
                 SmallbankWorkload(num_accounts=self.config.num_keys).chaincode)
         else:
@@ -222,7 +233,7 @@ class ShardPartition:
         return registry
 
     def _populate(self) -> None:
-        """Load this shard's slice of the initial key space (parent mirror)."""
+        """Load this shard's slice of the initial key space."""
         from repro.workloads.generator import shard_of_key
         from repro.workloads.smallbank import initial_balances
 
@@ -238,34 +249,113 @@ class ShardPartition:
             for replica in self.cluster.replicas:
                 replica.state.put(key, value)
 
+    def add_driver(self, index: int, spec: Dict[str, Any]) -> None:
+        """Attach (and start) this partition's split of driver ``index``."""
+        driver = PartitionDriver(self, index, spec)
+        self.drivers[index] = driver
+        driver.start()
+
+    # ------------------------------------------- surface used by HomeCoordinator
+    def route(self, command: Command) -> None:
+        """Send a coordination command; self-targets never leave the partition."""
+        if command.dest == self.shard_id:
+            self.sim.schedule_at(command.due, self._apply, command)
+            return
+        command.src = self.shard_id
+        command.seq = next(self._outseq)
+        self._routed.append(command)
+
+    def watch(self, tx_id: str, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback`` with the receipt when ``tx_id`` commits locally."""
+        self._watchers[tx_id] = callback
+
+    def emit_tx_done(self, record: DistributedTxRecord) -> None:
+        """Report a parent-submitted transaction's completion upward."""
+        self._outbox.append(TxDone(
+            time=self.sim.now, shard=self.shard_id, seq=next(self._outseq),
+            tx_id=record.tx_id,
+            committed=record.outcome is DistributedTxOutcome.COMMITTED,
+            abort_reason=record.abort_reason, started_at=record.started_at,
+            decided_at=record.decided_at, completed_at=record.completed_at))
+
+    def submit_from_driver(self, tx: Transaction, driver: PartitionDriver) -> None:
+        """Route a locally generated arrival to its home partition."""
+        shards = self.home.shards_for_transaction(tx)
+        home = home_shard(shards)
+        if home == self.shard_id:
+            self.home.submit_transaction(tx, on_complete=driver.on_local_complete)
+            return
+        self._remote_inflight[tx.tx_id] = driver
+        self.route(Command(due=self.sim.now + self.config.relay_delay,
+                           dest=home, op="client", txs=(tx,),
+                           tx_id=tx.tx_id, origin=self.shard_id))
+
     # --------------------------------------------------------------- capture
     def _on_commit(self, event: Any) -> None:
-        if event.receipts:
-            self._outbox.append(_ReceiptsOut(
-                time=self.sim.now, shard=self.shard_id,
-                seq=next(self._outseq), receipts=tuple(event.receipts)))
+        for receipt in event.receipts:
+            if self.is_reference:
+                reply_to = self._reply_to.pop(receipt.tx_id, None)
+                if reply_to is not None:
+                    self.route(Command(
+                        due=self.sim.now + self.config.relay_delay,
+                        dest=reply_to, op="ref_receipt", tx_id=receipt.tx_id,
+                        receipt=receipt))
+                continue
+            watcher = self._watchers.pop(receipt.tx_id, None)
+            if watcher is not None:
+                watcher(receipt)
 
     # --------------------------------------------------------------- running
-    def inject(self, commands: List[_Command]) -> None:
-        """Schedule buffered parent commands at their exact due times.
+    def inject(self, commands: List[Command]) -> None:
+        """Schedule inbound cross-partition commands at their exact due times.
 
-        Injection order (the parent's emission order) is the tie-break among
-        same-time commands, so the apply order is worker-count-invariant.
+        The caller injects them in the canonical ``(due, src, seq)`` order,
+        which is the tie-break among same-time commands — so the apply order
+        is worker-count-invariant.
         """
         for command in commands:
             self.sim.schedule_at(command.due, self._apply, command)
 
-    def run_window(self, until: float) -> List[Any]:
-        """Drain events up to ``until`` and return this window's outputs."""
-        self.sim.run_batched(until=until)
-        self.sim.advance_clock(until)
-        out, self._outbox = self._outbox, []
-        return out
+    def run_window(self, until: float, epoch: int) -> Tuple[List[Any], List[Command]]:
+        """Drain events up to ``until``; return (parent outputs, routed commands).
 
-    def _apply(self, command: _Command) -> None:
+        The partition's disjoint transaction-id stream is swapped into the
+        process-global counter for the duration, so every id created here —
+        driver arrivals, splitter prepares/decisions, reference votes —
+        depends only on this partition's own history.
+        """
+        self.current_epoch = epoch
+        previous = swap_tx_counter(self._tx_counter)
+        try:
+            self.sim.run_batched(until=until)
+            self.sim.advance_clock(until)
+        finally:
+            self._tx_counter = swap_tx_counter(previous)
+        out, self._outbox = self._outbox, []
+        routed, self._routed = self._routed, []
+        return out, routed
+
+    def _apply(self, command: Command) -> None:
         op = command.op
-        if op == "submit":
-            self.cluster.submit(list(command.txs), attempt=command.attempt)
+        if op == "prepare2pc":
+            self.home.handle_prepare(command)
+        elif op == "vote":
+            self.home.handle_vote(command)
+        elif op == "decision":
+            self.home.handle_decision(command)
+        elif op == "ack":
+            self.home.handle_ack(command)
+        elif op == "client":
+            self.home.handle_client(command)
+        elif op == "client_done":
+            driver = self._remote_inflight.pop(command.tx_id)
+            driver.on_remote_done(command)
+        elif op == "ref_submit":
+            tx = command.txs[0]
+            self._reply_to[tx.tx_id] = command.reply_to
+            self.cluster.submit([tx], attempt=command.attempt)
+        elif op == "ref_receipt":
+            self.home.handle_ref_receipt(command)
         elif op == "remove":
             if self.adversary is not None:
                 self.adversary.retire_physical(self.cluster, command.node_id)
@@ -276,7 +366,7 @@ class ShardPartition:
             if self.cluster.replicas:
                 margin = (len(self.cluster.active_replicas())
                           - self.cluster.config.quorum_size(len(self.cluster.replicas)))
-                self._outbox.append(_MarginReport(
+                self._outbox.append(MarginReport(
                     time=self.sim.now, shard=self.shard_id,
                     seq=next(self._outseq), marker=command.marker, margin=margin))
         elif op == "prepare":
@@ -286,7 +376,7 @@ class ShardPartition:
         else:  # pragma: no cover - protocol bug guard
             raise SimulationError(f"unknown partition op {op!r}")
 
-    def _apply_admit(self, command: _Command) -> None:
+    def _apply_admit(self, command: Command) -> None:
         """Admit a migrating joiner: corruption decision, sizing, activation.
 
         Mirrors the legacy ``_migrate_node`` destination half exactly: the
@@ -308,7 +398,7 @@ class ShardPartition:
             transfer = state_transfer_seconds(
                 state_bytes, bandwidth_bps=self.config.state_bandwidth_bps)
         self.sim.schedule(transfer, self.cluster.activate_member, node_id)
-        self._outbox.append(_AdmitReport(
+        self._outbox.append(AdmitReport(
             time=self.sim.now, shard=self.shard_id, seq=next(self._outseq),
             marker=command.marker, node_id=node_id, transfer=transfer))
 
@@ -321,6 +411,10 @@ class ShardPartition:
             "pending_events": self.sim.pending_events,
             "degraded_observer_reads": self.cluster.degraded_observer_reads,
         }
+        if self.home is not None:
+            counters["wounded"] = self.home.wounded_transactions
+            counters["deadlocks"] = self.home.deadlocks_detected
+            counters["wait_timeouts"] = self.home.wait_timeouts
         if self.adversary is not None:
             counters["migrated_corruptions"] = self.adversary.migrated_corruptions
             counters["suppressed_corruptions"] = self.adversary.suppressed_corruptions
@@ -329,67 +423,145 @@ class ShardPartition:
                 1 for event in self.adversary.rollback_events if event.completed)
         return counters
 
+    def coordination_stats(self) -> Optional[CoordinatorStats]:
+        return self.home.coordinator.stats if self.home is not None else None
+
+    def driver_stats(self) -> Dict[int, Any]:
+        if self.home is None:
+            return {}
+        return {index: driver.stats for index, driver in self.drivers.items()}
+
 
 # --------------------------------------------------------------------------
-# Executors: run the fixed set of partitions, inline or across processes.
+# Partition groups and executors.
 # --------------------------------------------------------------------------
+
+class _PartitionGroup:
+    """A fixed set of partitions drained together (one per worker process).
+
+    Commands routed between two partitions of the same group are *held*
+    locally instead of travelling through the parent — but they are still
+    only injected at the next window start, in the same canonical order
+    they would arrive in from the parent, so grouping cannot change what
+    any partition observes.
+    """
+
+    def __init__(self, config: ShardedSystemConfig, shard_ids: List[int],
+                 driver_specs: List[Dict[str, Any]]) -> None:
+        self.shard_ids = sorted(shard_ids)
+        self.partitions = {shard_id: ShardPartition(config, shard_id)
+                           for shard_id in self.shard_ids}
+        self._held: List[Command] = []
+        for index, spec in enumerate(driver_specs):
+            self.add_driver(index, spec)
+
+    def add_driver(self, index: int, spec: Dict[str, Any]) -> None:
+        for shard_id in self.shard_ids:
+            partition = self.partitions[shard_id]
+            if not partition.is_reference:
+                partition.add_driver(index, spec)
+
+    def run_window(self, block: WindowBlock) -> WindowResult:
+        inbound = sorted(list(block.commands) + self._held, key=inbound_sort_key)
+        self._held = []
+        by_dest = group_by_dest(inbound)
+        for shard_id in self.shard_ids:
+            commands = by_dest.pop(shard_id, None)
+            if commands:
+                self.partitions[shard_id].inject(commands)
+        if by_dest:  # pragma: no cover - protocol bug guard
+            raise SimulationError(
+                f"commands for partitions {sorted(by_dest)} delivered to a "
+                f"group owning {self.shard_ids}")
+        outputs: List[Any] = []
+        routed_out: List[Command] = []
+        for shard_id in self.shard_ids:
+            out, routed = self.partitions[shard_id].run_window(
+                block.until, block.epoch)
+            outputs.extend(out)
+            for command in routed:
+                if command.dest in self.partitions:
+                    self._held.append(command)
+                else:
+                    routed_out.append(command)
+        return WindowResult(outputs=tuple(outputs), routed=tuple(routed_out))
+
+    def summaries(self) -> Dict[int, Dict[str, int]]:
+        return {shard_id: self.partitions[shard_id].summary()
+                for shard_id in self.shard_ids}
+
+    def coordination_stats(self) -> Dict[int, CoordinatorStats]:
+        stats = {}
+        for shard_id in self.shard_ids:
+            partition_stats = self.partitions[shard_id].coordination_stats()
+            if partition_stats is not None:
+                stats[shard_id] = partition_stats
+        return stats
+
+    def driver_stats(self) -> Dict[int, Dict[int, Any]]:
+        return {shard_id: self.partitions[shard_id].driver_stats()
+                for shard_id in self.shard_ids}
+
+    def pending_events(self) -> int:
+        return (sum(p.sim.pending_events for p in self.partitions.values())
+                + len(self._held))
+
 
 class _InlineExecutor:
     """All partitions in this process, drained serially in shard order."""
 
-    def __init__(self, config: ShardedSystemConfig, shard_ids: List[int]) -> None:
-        self.partitions = {shard_id: ShardPartition(config, shard_id)
-                           for shard_id in shard_ids}
+    def __init__(self, config: ShardedSystemConfig, shard_ids: List[int],
+                 driver_specs: List[Dict[str, Any]]) -> None:
+        self.group = _PartitionGroup(config, shard_ids, driver_specs)
 
-    def run_window(self, until: float,
-                   commands: List[_Command]) -> List[Any]:
-        by_shard: Dict[int, List[_Command]] = {}
-        for command in commands:
-            by_shard.setdefault(command.shard, []).append(command)
-        out: List[Any] = []
-        for shard_id, partition in self.partitions.items():
-            if shard_id in by_shard:
-                partition.inject(by_shard[shard_id])
-            out.extend(partition.run_window(until))
-        return out
+    @property
+    def partitions(self) -> Dict[int, ShardPartition]:
+        return self.group.partitions
+
+    def run_window(self, block: WindowBlock) -> WindowResult:
+        return self.group.run_window(block)
+
+    def add_driver(self, index: int, spec: Dict[str, Any]) -> None:
+        self.group.add_driver(index, spec)
 
     def summaries(self) -> Dict[int, Dict[str, int]]:
-        return {shard_id: partition.summary()
-                for shard_id, partition in self.partitions.items()}
+        return self.group.summaries()
+
+    def coordination_stats(self) -> Dict[int, CoordinatorStats]:
+        return self.group.coordination_stats()
+
+    def driver_stats(self) -> Dict[int, Dict[int, Any]]:
+        return self.group.driver_stats()
 
     def pending_events(self) -> int:
-        return sum(partition.sim.pending_events
-                   for partition in self.partitions.values())
+        return self.group.pending_events()
 
     def close(self) -> None:
         pass
 
 
-def _worker_main(conn: Any, config: ShardedSystemConfig,
-                 shard_ids: List[int]) -> None:
-    """Worker process loop: build the owned partitions, serve barrier RPCs."""
-    partitions = {shard_id: ShardPartition(config, shard_id)
-                  for shard_id in shard_ids}
+def _worker_main(conn: Any, config: ShardedSystemConfig, shard_ids: List[int],
+                 driver_specs: List[Dict[str, Any]]) -> None:
+    """Worker process loop: build the owned partition group, serve barrier RPCs."""
+    group = _PartitionGroup(config, shard_ids, driver_specs)
     try:
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "window":
-                _, until, by_shard = message
-                out: List[Any] = []
-                for shard_id in shard_ids:
-                    partition = partitions[shard_id]
-                    commands = by_shard.get(shard_id)
-                    if commands:
-                        partition.inject(commands)
-                    out.extend(partition.run_window(until))
-                conn.send(("done", out))
+                conn.send(("done", group.run_window(message[1])))
+            elif kind == "drivers":
+                for index, spec in message[1]:
+                    group.add_driver(index, spec)
+                conn.send(("drivers_ok",))
             elif kind == "summary":
-                conn.send(("summary", {shard_id: partitions[shard_id].summary()
-                                       for shard_id in shard_ids}))
+                conn.send(("summary", group.summaries()))
+            elif kind == "coordination":
+                conn.send(("coordination", group.coordination_stats()))
+            elif kind == "driver_stats":
+                conn.send(("driver_stats", group.driver_stats()))
             elif kind == "pending":
-                conn.send(("pending", sum(p.sim.pending_events
-                                          for p in partitions.values())))
+                conn.send(("pending", group.pending_events()))
             elif kind == "stop":
                 conn.send(("bye",))
                 return
@@ -397,81 +569,138 @@ def _worker_main(conn: Any, config: ShardedSystemConfig,
         return
 
 
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Any
+    owned: List[int]
+
+
 class _ProcessExecutor:
-    """Partitions spread over persistent worker processes (``shard % N``)."""
+    """Partitions spread over persistent worker processes.
+
+    Grouping comes from :func:`~repro.core.homecoord.assign_partitions`
+    (load-aware LPT by default).  A worker that dies mid-window is detected
+    by polling its liveness while waiting for the reply, so a crash raises a
+    clear error naming the lost partitions instead of hanging on a pipe.
+    """
 
     def __init__(self, config: ShardedSystemConfig, shard_ids: List[int],
-                 workers: int) -> None:
+                 workers: int, driver_specs: List[Dict[str, Any]]) -> None:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = multiprocessing.get_context()
-        self._workers: List[Tuple[Any, Any, List[int]]] = []
-        for worker_index in range(workers):
-            owned = [shard_id for position, shard_id in enumerate(shard_ids)
-                     if position % workers == worker_index]
+        self._workers: List[_WorkerHandle] = []
+        for owned in assign_partitions(shard_ids, workers, config):
             if not owned:
                 continue
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(target=_worker_main,
-                                  args=(child_conn, config, owned),
+                                  args=(child_conn, config, owned, driver_specs),
                                   daemon=True)
             process.start()
             child_conn.close()
-            self._workers.append((process, parent_conn, owned))
+            self._workers.append(_WorkerHandle(process, parent_conn, owned))
         self._closed = False
 
-    def _recv(self, conn: Any, expected: str) -> Any:
+    def _send(self, handle: _WorkerHandle, message: Tuple) -> None:
         try:
-            reply = conn.recv()
+            handle.conn.send(message)
+        except (OSError, ValueError) as exc:
+            raise SimulationError(
+                f"scale-out worker owning partitions {handle.owned} is gone "
+                f"(exit code {handle.process.exitcode}); cannot send "
+                f"{message[0]!r}") from exc
+
+    def _recv(self, handle: _WorkerHandle, expected: str) -> Any:
+        try:
+            while not handle.conn.poll(0.25):
+                if not handle.process.is_alive():
+                    raise SimulationError(
+                        f"scale-out worker owning partitions {handle.owned} "
+                        f"died mid-run (exit code {handle.process.exitcode}; "
+                        "see its stderr)")
+            reply = handle.conn.recv()
         except EOFError as exc:
             raise SimulationError(
-                "scale-out worker process died mid-run (see its stderr)") from exc
+                f"scale-out worker owning partitions {handle.owned} closed "
+                "its pipe mid-run (see its stderr)") from exc
         if reply[0] != expected:  # pragma: no cover - protocol bug guard
             raise SimulationError(f"unexpected worker reply {reply[0]!r}")
         return reply[1] if len(reply) > 1 else None
 
-    def run_window(self, until: float,
-                   commands: List[_Command]) -> List[Any]:
-        by_shard: Dict[int, List[_Command]] = {}
-        for command in commands:
-            by_shard.setdefault(command.shard, []).append(command)
-        for _, conn, owned in self._workers:
-            conn.send(("window", until,
-                       {shard_id: by_shard[shard_id] for shard_id in owned
-                        if shard_id in by_shard}))
-        out: List[Any] = []
-        for _, conn, _ in self._workers:
-            out.extend(self._recv(conn, "done"))
-        return out
+    def run_window(self, block: WindowBlock) -> WindowResult:
+        by_dest = group_by_dest(block.commands)
+        for handle in self._workers:
+            commands: List[Command] = []
+            for shard_id in handle.owned:
+                commands.extend(by_dest.pop(shard_id, ()))
+            self._send(handle, ("window", WindowBlock(
+                until=block.until, epoch=block.epoch,
+                commands=tuple(commands))))
+        if by_dest:  # pragma: no cover - protocol bug guard
+            raise SimulationError(
+                f"commands for unowned partitions {sorted(by_dest)}")
+        outputs: List[Any] = []
+        routed: List[Command] = []
+        for handle in self._workers:
+            result = self._recv(handle, "done")
+            outputs.extend(result.outputs)
+            routed.extend(result.routed)
+        return WindowResult(outputs=tuple(outputs), routed=tuple(routed))
+
+    def add_driver(self, index: int, spec: Dict[str, Any]) -> None:
+        for handle in self._workers:
+            self._send(handle, ("drivers", [(index, spec)]))
+        for handle in self._workers:
+            self._recv(handle, "drivers_ok")
 
     def summaries(self) -> Dict[int, Dict[str, int]]:
-        for _, conn, _ in self._workers:
-            conn.send(("summary",))
+        for handle in self._workers:
+            self._send(handle, ("summary",))
         merged: Dict[int, Dict[str, int]] = {}
-        for _, conn, _ in self._workers:
-            merged.update(self._recv(conn, "summary"))
+        for handle in self._workers:
+            merged.update(self._recv(handle, "summary"))
+        return merged
+
+    def coordination_stats(self) -> Dict[int, CoordinatorStats]:
+        for handle in self._workers:
+            self._send(handle, ("coordination",))
+        merged: Dict[int, CoordinatorStats] = {}
+        for handle in self._workers:
+            merged.update(self._recv(handle, "coordination"))
+        return merged
+
+    def driver_stats(self) -> Dict[int, Dict[int, Any]]:
+        for handle in self._workers:
+            self._send(handle, ("driver_stats",))
+        merged: Dict[int, Dict[int, Any]] = {}
+        for handle in self._workers:
+            merged.update(self._recv(handle, "driver_stats"))
         return merged
 
     def pending_events(self) -> int:
-        for _, conn, _ in self._workers:
-            conn.send(("pending",))
-        return sum(self._recv(conn, "pending") for _, conn, _ in self._workers)
+        for handle in self._workers:
+            self._send(handle, ("pending",))
+        return sum(self._recv(handle, "pending") for handle in self._workers)
 
     def close(self) -> None:
+        """Stop the workers; join with a timeout and terminate stragglers."""
         if self._closed:
             return
         self._closed = True
-        for process, conn, _ in self._workers:
+        for handle in self._workers:
             try:
-                conn.send(("stop",))
-                self._recv(conn, "bye")
+                handle.conn.send(("stop",))
+                self._recv(handle, "bye")
             except (OSError, SimulationError):
                 pass
-            conn.close()
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker guard
-                process.terminate()
+            handle.conn.close()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
 
 
 # --------------------------------------------------------------------------
@@ -483,12 +712,17 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
 
     See the module docstring for the model.  Construction reuses the base
     class with the shard-facing hooks overridden: shard "clusters" become
-    :class:`_ShardHandle` stubs, state population / observer attachment /
-    adversary arming move to the partitions, and every shard-bound relay is
-    re-routed through the command buffer.
+    :class:`_ShardHandle` control stubs, and the coordination layer, the
+    reference committee, lock admission, fault injection and the drivers
+    all live inside the partitions.  The parent retains the epoch and
+    adversary *control* machinery, the client-forwarding API and the
+    barrier loop itself.
     """
 
     SUPPORTS_WORKERS = True
+    #: OpenLoopDriver checks this: on this engine drivers register a spec
+    #: and the partitions generate (their splits of) the arrival stream.
+    IN_PARTITION_DRIVERS = True
 
     def __init__(self, config: ShardedSystemConfig) -> None:
         if config.workers is None:
@@ -496,12 +730,19 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
                 "ScaleOutShardedBlockchain requires config.workers")
         # State the overridden construction hooks touch; must exist before
         # the base constructor runs them.
-        self._cmd_buffer: List[_Command] = []
+        self._cmd_buffer: List[Command] = []
+        self._parent_seq = itertools.count()
         self._marker_counter = itertools.count()
         self._pending_admits: Dict[int, _BatchState] = {}
         self._margin_sinks: Dict[int, Any] = {}
         self._executor: Optional[Any] = None
         self._next_slot: Dict[int, int] = {}
+        self._driver_specs: List[Dict[str, Any]] = []
+        self._remote_txs: Dict[str, Tuple[DistributedTxRecord, Optional[Callable]]] = {}
+        #: Wall-clock split of the barrier loop: time inside executor windows
+        #: (partition work) vs. time draining the parent's own simulation.
+        self._window_seconds = 0.0
+        self._parent_seconds = 0.0
         super().__init__(config)
         self._next_slot = {shard_id: config.committee_size
                            for shard_id in range(config.num_shards)}
@@ -513,17 +754,21 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
     @property
     def executor(self) -> Any:
         if self._executor is None:
-            # Partitions never see the fault scenario (it binds parent-side
-            # closures and is consulted only by the coordination layer) nor
-            # the worker knobs themselves.
-            spec = dataclasses.replace(self.config, fault_scenario=None,
-                                       workers=None, barrier_interval=None)
+            # Partitions get the config minus the worker knobs themselves
+            # (their own engine is the plain in-process one); the fault
+            # scenario stays — each home coordinator binds its own deep copy.
+            spec = dataclasses.replace(self.config, workers=None,
+                                       barrier_interval=None)
             shard_ids = list(range(self.config.num_shards))
+            if self.config.use_reference_committee:
+                shard_ids.append(REFERENCE_SHARD_ID)
             if self.config.workers <= 1:
-                self._executor = _InlineExecutor(spec, shard_ids)
+                self._executor = _InlineExecutor(spec, shard_ids,
+                                                 self._driver_specs)
             else:
                 self._executor = _ProcessExecutor(spec, shard_ids,
-                                                  self.config.workers)
+                                                  self.config.workers,
+                                                  self._driver_specs)
         return self._executor
 
     def close(self) -> None:
@@ -534,14 +779,20 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
     def _build_shard_cluster(self, shard_id: int) -> Any:
         return _ShardHandle(self, shard_id)
 
+    def _bind_fault_scenario(self):
+        return None  # per-home deep copies bind inside the partitions
+
+    def _build_admission(self):
+        return None  # participant-side admission lives in the partitions
+
+    def _maybe_build_reference(self):
+        return None  # the reference committee is partition REFERENCE_SHARD_ID
+
     def _populate_states(self) -> None:
         pass  # each partition loads its own slice of the key space
 
     def _attach_observers(self) -> None:
-        # Shard receipts arrive through the barrier exchange; only the
-        # parent-resident reference committee keeps a direct observer.
-        if self.reference is not None:
-            self.reference.subscribe_commits(self._make_observer(REFERENCE_SHARD_ID))
+        pass  # receipts are watched inside the partitions
 
     def _arm_adversary(self) -> None:
         pass  # the partition owning tee_rollback_shard arms its own copy
@@ -553,40 +804,111 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
                 mapping[logical] = member_node_id(committee.shard_id, slot)
         return mapping
 
-    # ------------------------------------------------------------ relays
-    def _emit(self, command: _Command) -> None:
+    # ------------------------------------------------------------ drivers
+    def register_partition_driver(self, spec: Dict[str, Any]) -> int:
+        """Register one open-loop driver's spec; partitions run its splits.
+
+        Returns the driver's index (the key into :meth:`driver_stats`).
+        Registration before the first ``advance`` is free — the specs ride
+        along with partition construction; afterwards it is a live RPC to
+        every worker.
+        """
+        index = len(self._driver_specs)
+        self._driver_specs.append(spec)
+        if self._executor is not None:
+            self._executor.add_driver(index, spec)
+        return index
+
+    def driver_stats(self, index: int):
+        """Driver ``index``'s statistics, merged over all partitions."""
+        from repro.core.driver import DriverStats
+
+        merged = DriverStats()
+        per_partition = self.executor.driver_stats()
+        for shard_id in sorted(per_partition):
+            stats = per_partition[shard_id].get(index)
+            if stats is not None:
+                merged.merge(stats)
+        return merged
+
+    # ------------------------------------------------------------ submission
+    def _emit(self, command: Command) -> None:
+        command.src = PARENT
+        command.seq = next(self._parent_seq)
         self._cmd_buffer.append(command)
 
-    def _relay_shard_single(self, shard_id: int, tx: Transaction,
-                            attempt: int = 0) -> None:
-        self._emit(_Command(due=self.sim.now + self.config.relay_delay,
-                            shard=shard_id, op="submit", txs=(tx,),
-                            attempt=attempt))
+    def submit_transaction(self, tx: Transaction,
+                           on_complete: Optional[Callable[[DistributedTxRecord], None]] = None) -> DistributedTxRecord:
+        """Forward an API-submitted transaction to its home partition.
 
-    def _relay_cohort(self, group: List[Tuple[int, Transaction]],
-                      extra_delay: float = 0.0, attempt: int = 0) -> None:
-        due = self.sim.now + self.config.relay_delay + extra_delay
-        for shard_id, tx in group:
-            self._emit(_Command(due=due, shard=shard_id, op="submit",
-                                txs=(tx,), attempt=attempt))
+        The returned record is a parent-side shadow: its outcome fields are
+        filled in when the home's completion report arrives through the
+        barrier exchange (``on_complete`` fires at that point).  The real
+        coordination state lives in the home partition.
+        """
+        shards = self.shards_for_transaction(tx)
+        record = DistributedTxRecord(tx_id=tx.tx_id, transaction=tx,
+                                     shards=sorted(shards),
+                                     phase=DistributedTxPhase.BEGINNING,
+                                     started_at=self.sim.now)
+        self._remote_txs[tx.tx_id] = (record, on_complete)
+        self._emit(Command(due=self.sim.now + self.config.relay_delay,
+                           dest=home_shard(shards), op="client", txs=(tx,),
+                           tx_id=tx.tx_id, origin=PARENT))
+        return record
+
+    def _on_tx_done(self, done: TxDone) -> None:
+        entry = self._remote_txs.pop(done.tx_id, None)
+        if entry is None:
+            return
+        record, on_complete = entry
+        record.phase = DistributedTxPhase.DONE
+        record.outcome = (DistributedTxOutcome.COMMITTED if done.committed
+                          else DistributedTxOutcome.ABORTED)
+        record.abort_reason = done.abort_reason
+        record.decided_at = done.decided_at
+        record.completed_at = done.completed_at
+        if on_complete is not None:
+            on_complete(record)
 
     # ------------------------------------------------------------ barrier loop
     def advance(self, until: float, max_events: Optional[int] = None) -> None:
         """Run the barrier loop to ``until`` (``max_events`` is not supported).
 
-        Strict alternation per window: ship buffered commands, drain the
-        partitions, inject their outputs at exact times, drain the parent.
+        Strict alternation per window: ship the buffered command block,
+        drain the partitions, inject their outputs at exact times, drain
+        the parent.  Commands the partitions routed to each other come back
+        in the window result and ship with the *next* block.
         """
         delta = self.barrier_interval
         now = self.sim.now
         while now < until:
             end = min(now + delta, until)
             commands, self._cmd_buffer = self._cmd_buffer, []
-            outputs = self.executor.run_window(end, commands)
-            self._deliver_outputs(outputs)
+            started = perf_counter()
+            result = self.executor.run_window(WindowBlock(
+                until=end, epoch=self.epochs.current_epoch,
+                commands=tuple(sorted(commands, key=inbound_sort_key))))
+            mid = perf_counter()
+            self._window_seconds += mid - started
+            self._cmd_buffer.extend(result.routed)
+            self._deliver_outputs(list(result.outputs))
             self.sim.run_batched(until=end)
             self.sim.advance_clock(end)
+            self._parent_seconds += perf_counter() - mid
             now = end
+
+    @property
+    def coordinator_work_share(self) -> float:
+        """Fraction of barrier-loop wall-clock spent in the parent tier.
+
+        The tentpole's target metric: with coordination, admission, the
+        reference committee and the drivers all in-partition, the parent's
+        share of each window should be small (< 20% under the benchmark
+        gate) — it only merges outputs and runs epoch/adversary control.
+        """
+        total = self._window_seconds + self._parent_seconds
+        return self._parent_seconds / total if total > 0 else 0.0
 
     def pending_activity(self) -> bool:
         return (self.sim.pending_events > 0 or bool(self._cmd_buffer)
@@ -600,30 +922,63 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
         grouped onto workers.
         """
         for item in sorted(outputs, key=lambda it: (it.time, it.shard, it.seq)):
-            if isinstance(item, _ReceiptsOut):
-                self.sim.schedule_at(item.time, self._deliver_receipts,
-                                     item.receipts)
-            elif isinstance(item, _AdmitReport):
+            if isinstance(item, TxDone):
+                self.sim.schedule_at(item.time, self._on_tx_done, item)
+            elif isinstance(item, AdmitReport):
                 self.sim.schedule_at(item.time, self._on_admit_report, item)
-            elif isinstance(item, _MarginReport):
+            elif isinstance(item, MarginReport):
                 self.sim.schedule_at(item.time, self._on_margin_report, item)
             else:  # pragma: no cover - protocol bug guard
                 raise SimulationError(f"unknown partition output {item!r}")
 
-    def _deliver_receipts(self, receipts: Tuple[Any, ...]) -> None:
-        for receipt in receipts:
-            watcher = self._receipt_watchers.pop(receipt.tx_id, None)
-            if watcher is not None:
-                watcher(receipt)
+    # ------------------------------------------------------------ relays
+    def _relay_shard_single(self, shard_id: int, tx: Transaction,
+                            attempt: int = 0) -> None:  # pragma: no cover
+        raise SimulationError(
+            "parent-side shard relay on the scale-out engine: coordination "
+            "traffic must originate in the home partitions")
+
+    def _relay_cohort(self, group: List[Tuple[int, Transaction]],
+                      extra_delay: float = 0.0,
+                      attempt: int = 0) -> None:  # pragma: no cover
+        raise SimulationError(
+            "parent-side cohort relay on the scale-out engine: coordination "
+            "traffic must originate in the home partitions")
 
     # ------------------------------------------------------------ run/results
+    def coordination_stats(self) -> CoordinatorStats:
+        """Merge the per-partition home coordinators' statistics.
+
+        Partitions are merged in sorted shard order, so the concatenated
+        latency list (kept only under ``retain_tx_records``) is
+        deterministic too.
+        """
+        merged = CoordinatorStats()
+        per_partition = self.executor.coordination_stats()
+        for shard_id in sorted(per_partition):
+            stats = per_partition[shard_id]
+            merged.started += stats.started
+            merged.committed += stats.committed
+            merged.aborted += stats.aborted
+            merged.cross_shard += stats.cross_shard
+            merged.latency_sum += stats.latency_sum
+            merged.latency_count += stats.latency_count
+            merged.latencies.extend(stats.latencies)
+            merged.duplicate_votes += stats.duplicate_votes
+            merged.duplicate_acks += stats.duplicate_acks
+            merged.equivocations += stats.equivocations
+            merged.stale_messages += stats.stale_messages
+            merged.coordinator_crashes += stats.coordinator_crashes
+            merged.redriven_transactions += stats.redriven_transactions
+        return merged
+
     def result(self, duration: float) -> ShardedRunResult:
-        stats = self.coordinator.stats
-        summaries = self.shard_summaries()
+        stats = self.coordination_stats()
+        summaries = self.executor.summaries()
         per_shard = {shard_id: summaries[shard_id]["committed"]
-                     for shard_id in sorted(summaries)}
-        reference_txs = (self.reference.honest_observer().committed_transactions()
-                         if self.reference is not None else 0)
+                     for shard_id in sorted(summaries)
+                     if shard_id != REFERENCE_SHARD_ID}
+        reference = summaries.get(REFERENCE_SHARD_ID)
         return ShardedRunResult(
             duration=duration,
             committed_transactions=stats.committed,
@@ -634,13 +989,16 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
             cross_shard_fraction=(stats.cross_shard / stats.started
                                   if stats.started else 0.0),
             per_shard_committed=per_shard,
-            reference_committee_transactions=reference_txs,
+            reference_committee_transactions=(reference["committed"]
+                                              if reference is not None else 0),
             current_epoch=self.epochs.current_epoch,
             reconfigurations_completed=self.reconfigurations_completed,
         )
 
     def shard_summaries(self) -> Dict[int, Dict[str, int]]:
-        return self.executor.summaries()
+        return {shard_id: summary
+                for shard_id, summary in self.executor.summaries().items()
+                if shard_id != REFERENCE_SHARD_ID}
 
     def audit_clusters(self) -> Dict[int, ConsensusCluster]:
         if self.config.workers > 1:
@@ -672,17 +1030,17 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
         for logical in sorted(plan.nodes_in_step(index)):
             old_shard = transition.old_map[logical]
             new_shard = transition.new_map[logical]
-            self._emit(_Command(due=due, shard=old_shard, op="remove",
-                                node_id=self._replica_of[logical]))
+            self._emit(Command(due=due, dest=old_shard, op="remove",
+                               node_id=self._replica_of[logical]))
             slot = self._next_slot[new_shard]
             self._next_slot[new_shard] = slot + 1
             new_physical = member_node_id(new_shard, slot)
             marker = next(self._marker_counter)
             markers.append(marker)
-            self._emit(_Command(due=due, shard=new_shard, op="admit",
-                                node_id=new_physical, logical=logical,
-                                transfer_override=transition.transfer_override,
-                                marker=marker))
+            self._emit(Command(due=due, dest=new_shard, op="admit",
+                               node_id=new_physical, logical=logical,
+                               transfer_override=transition.transfer_override,
+                               marker=marker))
             self._replica_of[logical] = new_physical
             transition.stats.nodes_moved += 1
         batch = _BatchState(transition=transition, index=index,
@@ -694,14 +1052,14 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
         for shard_id in sorted(self.shards):
             marker = next(self._marker_counter)
             self._margin_sinks[marker] = transition.stats
-            self._emit(_Command(due=due, shard=shard_id, op="margin",
-                                marker=marker))
+            self._emit(Command(due=due, dest=shard_id, op="margin",
+                               marker=marker))
         if not markers:
             delay = transition.batch_interval if index + 1 < plan.num_steps else 0.0
             self.sim.schedule(delay, self._run_migration_step, transition,
                               index + 1)
 
-    def _on_admit_report(self, report: _AdmitReport) -> None:
+    def _on_admit_report(self, report: AdmitReport) -> None:
         batch = self._pending_admits.pop(report.marker)
         batch.outstanding -= 1
         batch.max_transfer = max(batch.max_transfer, report.transfer)
@@ -717,7 +1075,7 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
             self.sim.schedule(batch.max_transfer, self._run_migration_step,
                               transition, batch.index + 1)
 
-    def _on_margin_report(self, report: _MarginReport) -> None:
+    def _on_margin_report(self, report: MarginReport) -> None:
         stats = self._margin_sinks.pop(report.marker)
         previous = stats.min_active_margin.get(report.shard)
         if previous is None or report.margin < previous:
@@ -729,7 +1087,7 @@ class _ShardHandle:
 
     Implements exactly the cluster surface the parent's *control* paths use
     (request tracking and membership-change preparation become buffered
-    commands); data-path calls must go through the overridden relays, so a
+    commands); data-path calls must originate inside the partitions, so a
     direct ``submit`` is a protocol bug and says so.
     """
 
@@ -739,16 +1097,16 @@ class _ShardHandle:
 
     def submit(self, transactions: Any, to: Any = None, attempt: int = 0) -> None:
         raise SimulationError(
-            f"direct submit to partitioned shard {self.shard_id}: shard-bound "
-            "traffic must flow through the relay hooks (_relay_shard_single / "
-            "_relay_cohort)")
+            f"direct submit to partitioned shard {self.shard_id}: benchmark "
+            "traffic enters through submit_transaction (forwarded to the "
+            "home partition) or the in-partition drivers")
 
     def enable_request_tracking(self) -> None:
-        self.system._emit(_Command(
+        self.system._emit(Command(
             due=self.system.sim.now + self.system.config.relay_delay,
-            shard=self.shard_id, op="track"))
+            dest=self.shard_id, op="track"))
 
     def prepare_for_membership_change(self) -> None:
-        self.system._emit(_Command(
+        self.system._emit(Command(
             due=self.system.sim.now + self.system.config.relay_delay,
-            shard=self.shard_id, op="prepare"))
+            dest=self.shard_id, op="prepare"))

@@ -356,11 +356,8 @@ class ShardedBlockchain:
         self._single_shard_started: Dict[str, float] = {}
         self.single_shard_committed = 0
         self.single_shard_aborted = 0
-        self._fault = config.fault_scenario
-        if self._fault is not None:
-            self._fault.bind(self)
-        self.admission: Optional[_LockAdmission] = (
-            _LockAdmission(self) if config.conflict_policy != "abort" else None)
+        self._fault = self._bind_fault_scenario()
+        self.admission: Optional[_LockAdmission] = self._build_admission()
         self._decisions_sent: Dict[str, Set[int]] = {}
         #: Relay per-shard prepare/decision submissions as one cohort event
         #: (order-identical to the seed's one-event-per-shard scheduling; the
@@ -377,9 +374,7 @@ class ShardedBlockchain:
         self.shards: Dict[int, ConsensusCluster] = {}
         for shard_id in range(config.num_shards):
             self.shards[shard_id] = self._build_shard_cluster(shard_id)
-        self.reference: Optional[ConsensusCluster] = None
-        if config.use_reference_committee:
-            self.reference = self._build_reference_cluster()
+        self.reference: Optional[ConsensusCluster] = self._maybe_build_reference()
         self._arm_adversary()
         self._populate_states()
         self._attach_observers()
@@ -409,6 +404,39 @@ class ShardedBlockchain:
             self.sim.schedule(config.epoch_duration, self._epoch_tick)
 
     # ---------------------------------------------------------------- set-up
+    def _bind_fault_scenario(self):
+        """Bind the configured fault scenario to this engine.
+
+        The scale-out engine overrides this to return None: there the fault
+        hooks are consulted by per-partition deep copies of the scenario (one
+        per home coordinator), never by the parent.
+        """
+        fault = self.config.fault_scenario
+        if fault is not None:
+            fault.bind(self)
+        return fault
+
+    def _build_admission(self) -> Optional["_LockAdmission"]:
+        """Build the coordinator-side lock-admission mirror (queueing policies).
+
+        The scale-out engine overrides this to return None: admission lives
+        inside each partition's home coordinator instead of on the parent.
+        """
+        if self.config.conflict_policy != "abort":
+            return _LockAdmission(self)
+        return None
+
+    def _maybe_build_reference(self) -> Optional[ConsensusCluster]:
+        """Build the reference committee's cluster on this simulation.
+
+        The scale-out engine overrides this to return None: there the
+        reference committee is partition ``REFERENCE_SHARD_ID``, scheduled
+        like any shard partition.
+        """
+        if self.config.use_reference_committee:
+            return self._build_reference_cluster()
+        return None
+
     def _form_committees(self) -> CommitteeAssignment:
         node_ids = list(range(self.config.total_nodes))
         return assign_committees(node_ids, self.config.num_shards, seed=self.config.seed)
@@ -956,8 +984,16 @@ class ShardedBlockchain:
         self.advance(self.sim.now + duration, max_events=max_events)
         return self.result(duration)
 
+    def coordination_stats(self):
+        """Aggregate 2PC coordination statistics (engine-neutral).
+
+        The legacy engine has exactly one coordinator; the scale-out engine
+        overrides this to merge the per-partition home coordinators' stats.
+        """
+        return self.coordinator.stats
+
     def result(self, duration: float) -> ShardedRunResult:
-        stats = self.coordinator.stats
+        stats = self.coordination_stats()
         committed = stats.committed
         aborted = stats.aborted
         per_shard = {
@@ -1000,7 +1036,7 @@ class ShardedBlockchain:
         under the worker count and the barrier interval for a given
         seed+config.
         """
-        stats = self.coordinator.stats
+        stats = self.coordination_stats()
         summaries = self.shard_summaries()
         return {
             "committed": stats.committed,

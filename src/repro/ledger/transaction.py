@@ -26,6 +26,23 @@ def rebase_tx_counter(start: int = 0) -> None:
     _TX_COUNTER = itertools.count(start)
 
 
+def swap_tx_counter(counter: "itertools.count") -> "itertools.count":
+    """Swap the process-global id counter for ``counter``; returns the old one.
+
+    The scale-out engine gives every partition its own disjoint id stream
+    (see ``repro.core.homecoord.partition_tx_counter``): the partition swaps
+    its counter in around each barrier window so transactions it creates —
+    driver arrivals, splitter prepares/decisions, reference-committee votes —
+    get ids that depend only on the partition's own history, never on how
+    partitions were grouped onto worker processes.  The previous counter is
+    restored (by swapping back) when the window ends.
+    """
+    global _TX_COUNTER
+    previous = _TX_COUNTER
+    _TX_COUNTER = counter
+    return previous
+
+
 class TxStatus(str, Enum):
     """Lifecycle status of a transaction."""
 

@@ -73,6 +73,12 @@ class WorkloadGenerator:
                  vector_batch: int = 256) -> None:
         self.benchmark = benchmark
         self.num_shards = num_shards
+        #: Construction parameters, kept introspectable so a generator can be
+        #: described by a plain spec and re-derived elsewhere (the scale-out
+        #: engine rebuilds per-partition streams from these inside workers).
+        self.zipf_coefficient = zipf_coefficient
+        self.num_keys = num_keys
+        self.seed = seed
         self.mix = WorkloadMix()
         self._rng = random.Random(seed)
         if vectorized and benchmark != "smallbank":
@@ -124,6 +130,48 @@ class WorkloadGenerator:
         shards = [shard_of_key(key, self.num_shards) for key in tx.keys]
         self.mix.record(shards)
         return tx
+
+    def next_transaction_for_shard(self, shard_id: int, client_id: str = "client",
+                                   now: float = 0.0) -> Transaction:
+        """Next transaction from this stream whose *first key* lives on ``shard_id``.
+
+        The scale-out engine gives every partition its own generator (seeded
+        by a per-partition split) and a deterministic ownership rule: a
+        partition drives exactly the draws whose first key — the payer's
+        account for Smallbank — it owns, and skips the rest.  Because the
+        rule is a pure function of the draw and the partition id, the union
+        of all partitions' accepted streams is independent of worker count.
+
+        On the vectorized path ownership is tested on the pre-sampled
+        ``(source, destination, amount)`` tuple *before* materialising a
+        Transaction, so skipped draws burn no transaction ids; the scalar
+        path materialises first (ids come from the partition's own disjoint
+        counter, so the burn is deterministic per partition too).
+        """
+        for _ in range(10_000_000):
+            if self.vectorized:
+                if self._buffer_pos >= len(self._payment_buffer):
+                    self._payment_buffer = self._workload.sample_payments(self.vector_batch)
+                    self._buffer_pos = 0
+                source, destination, amount = self._payment_buffer[self._buffer_pos]
+                self._buffer_pos += 1
+                from repro.workloads.smallbank import account_key
+
+                if shard_of_key(account_key(str(source)), self.num_shards) != shard_id:
+                    continue
+                args = {"from": source, "to": destination, "amount": amount}
+                tx = self._workload.chaincode.new_transaction(
+                    "sendPayment", args, client_id=client_id, submitted_at=now)
+            else:
+                tx = self._workload.next_transaction(client_id=client_id, now=now)
+                if shard_of_key(tx.keys[0], self.num_shards) != shard_id:
+                    continue
+            self.mix.record([shard_of_key(key, self.num_shards) for key in tx.keys])
+            return tx
+        raise WorkloadError(
+            f"shard {shard_id} owns no sampled first keys: 10M consecutive "
+            f"draws were all foreign (num_keys={self.num_keys} is likely far "
+            f"too small for {self.num_shards} shards)")
 
     def _next_vectorized(self, client_id: str, now: float) -> Transaction:
         """Pop one pre-sampled payment; refill the block buffer when empty."""

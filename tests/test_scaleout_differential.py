@@ -25,7 +25,12 @@ from repro.core import (
 )
 from repro.errors import ConfigurationError
 from repro.ledger.transaction import rebase_tx_counter
-from repro.txn.faults import ShardStallScenario, VoteDropScenario
+from repro.txn.faults import (
+    CoordinatorCrashScenario,
+    ShardStallScenario,
+    VoteDropScenario,
+    VoteReplayScenario,
+)
 
 TXS = 150
 RATE = 400.0
@@ -51,6 +56,13 @@ SCENARIOS = {
         prepare_timeout=2.0), None),
     "vote-drop": (lambda: _base_config(fault_scenario=VoteDropScenario(max_drops=4),
                                        prepare_timeout=2.0), None),
+    "vote-replay": (lambda: _base_config(
+        fault_scenario=VoteReplayScenario(duplicates=1, delay=0.3),
+        prepare_timeout=2.0), None),
+    "coordinator-crash": (lambda: _base_config(
+        fault_scenario=CoordinatorCrashScenario(phase="decide", at_tx=3,
+                                                recover_after=1.0),
+        prepare_timeout=2.0), None),
     "epoch-swap-all": (lambda: _base_config(prepare_timeout=2.0), "swap-all"),
     "epoch-swap-batch": (lambda: _base_config(swap_batch_interval=0.5), "swap-batch"),
     "epoch-auto": (lambda: _base_config(epoch_duration=0.4,
