@@ -42,11 +42,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.base import CommitEvent, ConsensusReplica
-from repro.core.system import ShardedBlockchain
-
-#: Chaincode functions that execute a cross-shard decision on a shard.
-_COMMIT_FUNCTIONS = ("commitPayment", "commit_multi_put")
-_ABORT_FUNCTIONS = ("abortPayment", "abort_multi_put")
+from repro.core.system import REFERENCE_SHARD_ID, ShardedBlockchain
+from repro.ledger.index import (
+    ABORT_FUNCTIONS as _ABORT_FUNCTIONS,
+    COMMIT_FUNCTIONS as _COMMIT_FUNCTIONS,
+    rebuild_index,
+    snapshot_diff,
+)
 
 
 @dataclass
@@ -109,16 +111,24 @@ class SafetyAuditor:
 
     def __init__(self, system: ShardedBlockchain) -> None:
         self.system = system
+        #: The commit-time ledger index every O(delta) check reads from.
+        self.index = system.enable_analytics()
         #: shard -> global position -> first-recorded transaction id.
         self._prefix: Dict[int, Dict[int, str]] = {}
         #: (shard, replica id) -> next global position of that replica's stream.
         self._positions: Dict[Tuple[int, int], int] = {}
         #: origin tx id -> set of (shard, "commit"/"abort") decision executions.
         self._decisions: Dict[str, Set[Tuple[int, str]]] = {}
-        #: (enclave id, log name, position) -> digest bound there.
-        self._attested: Dict[Tuple[str, str, int], str] = {}
         #: Violations detected while recording (fork / re-binding seen live).
         self._live_violations: List[AuditViolation] = []
+        #: shard -> (observer node id, hash-verified height, hash there).
+        #: The incremental chain check resumes from this marker; an observer
+        #: switch or a marker mismatch forces one full re-verify.
+        self._verified: Dict[int, Tuple[int, int, str]] = {}
+        #: How many leading ``system.epoch_transitions`` entries are final
+        #: (completed and already folded into ``_margin_violations``).
+        self._margins_consumed = 0
+        self._margin_violations: List[AuditViolation] = []
         self.blocks_audited = 0
         self.transactions_audited = 0
         self._attach()
@@ -132,8 +142,6 @@ class SafetyAuditor:
         self._clusters = self.system.audit_clusters()
         clusters = dict(self._clusters)
         if self.system.reference is not None:
-            from repro.core.system import REFERENCE_SHARD_ID
-
             clusters[REFERENCE_SHARD_ID] = self.system.reference
         for shard_id, cluster in clusters.items():
             for replica in cluster.replicas:
@@ -204,12 +212,13 @@ class SafetyAuditor:
 
     def observe_append(self, enclave_id: str, log_name: str, position: int,
                        digest: str) -> None:
-        """Record one attested append (called by the enclave's listener)."""
-        key = (enclave_id, log_name, position)
-        bound = self._attested.get(key)
-        if bound is None:
-            self._attested[key] = digest
-        elif bound != digest:
+        """Record one attested append (called by the enclave's listener).
+
+        Slot storage lives in the ledger index (first-binding semantics);
+        the auditor turns a conflicting re-binding into a violation.
+        """
+        bound = self.index.record_attestation(enclave_id, log_name, position, digest)
+        if bound is not None and bound != digest:
             self._live_violations.append(AuditViolation(
                 "attested-slot-uniqueness", None,
                 f"enclave {enclave_id} bound log {log_name!r} position "
@@ -255,16 +264,28 @@ class SafetyAuditor:
         return self.is_quiescent()
 
     # ----------------------------------------------------------------- checks
-    def check(self) -> AuditReport:
-        """Evaluate every invariant and return the report."""
+    def check(self, full_reverify: bool = False) -> AuditReport:
+        """Evaluate every invariant and return the report.
+
+        The default is **incremental**: each invariant consumes only what
+        arrived since the previous ``check()`` — the chain check hash-verifies
+        the new suffix past its per-shard marker, the money check reads the
+        index's running balance drift, and the margin check folds in only
+        newly-completed transitions — so a periodic auditor costs O(blocks
+        since last check) per call instead of O(chain).
+        ``full_reverify=True`` forces the original full-history forms (from
+        genesis, full balance scan): the belt-and-suspenders mode for final
+        reports, and the only mode that can catch out-of-band state tampering
+        the committed receipts never saw.
+        """
         violations = list(self._live_violations)
         skipped: Dict[str, str] = {}
         quiescent = self.is_quiescent()
 
-        violations.extend(self._check_chains())
+        violations.extend(self._check_chains(full=full_reverify))
         if self.system.config.benchmark == "smallbank":
             if quiescent:
-                violations.extend(self._check_money())
+                violations.extend(self._check_money(full=full_reverify))
             else:
                 skipped["money-conservation"] = (
                     "run is not quiescent (call settle() first); a mid-commit "
@@ -290,25 +311,126 @@ class SafetyAuditor:
             checks_run=list(self.CHECKS),
             blocks_audited=self.blocks_audited,
             transactions_audited=self.transactions_audited,
-            attestations_recorded=len(self._attested),
+            attestations_recorded=self.index.attestations_recorded,
             equivocation_refusals=refusals,
             degraded_observer_reads=degraded,
             quiescent=quiescent,
             skipped=skipped,
         )
 
-    def _check_chains(self) -> List[AuditViolation]:
-        """Hash-verify each shard's observer chain (prefix check backstop)."""
+    def verify_index_rebuild(self) -> Tuple[bool, str]:
+        """The differential oracle: rebuild the index from the chains and diff.
+
+        Replays every observer chain from genesis through fresh execution
+        engines (:func:`repro.ledger.index.rebuild_index`) and compares the
+        result against the incrementally maintained index, bit for bit.
+        Returns ``(identical, description)`` — the description names the
+        first divergence if there is one.  Requires full block retention
+        (raises :class:`repro.errors.ConfigurationError` on header-only chains, where
+        receipts cannot be re-derived).
+        """
+        system = self.system
+        observers = {shard_id: cluster.honest_observer()
+                     for shard_id, cluster in self._clusters.items()}
+        if system.reference is not None and REFERENCE_SHARD_ID not in observers:
+            observers[REFERENCE_SHARD_ID] = system.reference.honest_observer()
+        chains = {shard_id: observer.blockchain
+                  for shard_id, observer in observers.items()}
+        for shard_id, chain in sorted(chains.items()):
+            pending = self.index.pending_heights(shard_id)
+            if (pending or self.index.tip_height(shard_id) != chain.height
+                    or self.index.tip_hash(shard_id) != chain.tip.block_hash):
+                return False, (
+                    f"shard {shard_id} commit stream is incomplete or follows "
+                    f"a different replica's chain (index tip "
+                    f"{self.index.tip_height(shard_id)} vs observer height "
+                    f"{chain.height}, pending heights {pending}): the "
+                    "incremental index cannot equal a rebuild of this chain")
+
+        def registry_for(shard_id: int):
+            if shard_id == REFERENCE_SHARD_ID:
+                from repro.ledger.chaincode import ChaincodeRegistry
+                from repro.txn.reference_committee import ReferenceCommitteeChaincode
+
+                registry = ChaincodeRegistry()
+                registry.register(ReferenceCommitteeChaincode())
+                return registry
+            return system._benchmark_registry()
+
+        def populate(shard_id: int, state) -> None:
+            observer = observers[shard_id]
+            if observer._join_state_snapshot is not None:
+                # The observer joined mid-run: its chain is rooted in the
+                # state snapshot it installed, not in the genesis state, so
+                # a faithful replay must start from that snapshot.
+                state.restore(observer._join_state_snapshot)
+            elif shard_id != REFERENCE_SHARD_ID:  # the reference starts empty
+                system.populate_initial_state(shard_id, state)
+
+        rebuilt = rebuild_index(chains, registry_for, populate=populate,
+                                epoch_of=system.epochs.epoch_of,
+                                account_history=self.index.history_enabled)
+        diff = snapshot_diff(self.index.snapshot(), rebuilt.snapshot())
+        if diff is None:
+            return True, (f"incremental index == full rebuild across "
+                          f"{self.index.blocks_indexed} blocks")
+        return False, diff
+
+    def _check_chains(self, full: bool = False) -> List[AuditViolation]:
+        """Hash-verify each shard's observer chain (prefix check backstop).
+
+        Incremental: per shard the auditor remembers which observer it
+        verified, up to which height, and the block hash it saw there; the
+        next check only verifies the suffix past that marker.  The marker is
+        trusted only if the observer is the same replica and still carries
+        the remembered hash at the remembered height — an observer switch
+        (the old one crashed, lagged or departed) or a marker mismatch means
+        this chain object was never verified, so it gets one full pass.  A
+        failed verify never advances the marker: the violation re-fires on
+        every later check instead of being absorbed.
+        """
         violations = []
         for shard_id, cluster in self._clusters.items():
             observer = cluster.honest_observer()
-            if not observer.blockchain.verify_chain():
+            chain = observer.blockchain
+            from_height = 0
+            marker = self._verified.get(shard_id)
+            if not full and marker is not None:
+                node_id, height, block_hash = marker
+                if (node_id == observer.node_id and height <= chain.height
+                        and chain.header_at(height).block_hash == block_hash):
+                    from_height = height
+            if not chain.verify_suffix(from_height):
                 violations.append(AuditViolation(
                     "committed-prefix", shard_id,
-                    f"replica {observer.node_id}'s chain fails hash verification"))
+                    f"replica {observer.node_id}'s chain fails hash "
+                    f"verification (from height {from_height})"))
+                continue
+            self._verified[shard_id] = (observer.node_id, chain.height,
+                                        chain.tip.block_hash)
         return violations
 
-    def _check_money(self) -> List[AuditViolation]:
+    def _check_money(self, full: bool = False) -> List[AuditViolation]:
+        """Money conservation: O(1) off the index, or the full balance scan.
+
+        The incremental form reads the index's running balance drift (every
+        committed delta minus every legitimate mint — exact, maintained at
+        commit time).  The full scan re-reads all ``num_keys`` balances from
+        the observers' state stores; it is the only form that can catch
+        tampering applied *behind* consensus (state mutated with no
+        committed receipt), and the automatic fallback when the index did
+        not see the whole history (mid-run attach, gaps, or an index that
+        trails the observer chains).
+        """
+        if not full and self.index.balances_exact() and self._index_synced():
+            drift = self.index.balance_drift()
+            if drift != 0:
+                return [AuditViolation(
+                    "money-conservation", None,
+                    f"committed balance deltas net to {drift:+d} after mints "
+                    f"across {self.index.blocks_indexed} indexed blocks — "
+                    "money was created or destroyed on-chain")]
+            return []
         from repro.workloads.smallbank import initial_balances
 
         system = self.system
@@ -325,16 +447,61 @@ class SafetyAuditor:
                 f"(drift {total - expected:+d}) at quiescence")]
         return []
 
-    def _check_epoch_margins(self) -> List[AuditViolation]:
+    def _index_synced(self) -> bool:
+        """Whether the index covers every benchmark shard's full history.
+
+        Requires, per shard, an observer whose chain is rooted in the
+        genesis state (a joiner's chain starts from a mid-run state
+        snapshot, so its deltas only cover a suffix of history and cannot
+        prove conservation) and an index tip that matches that observer's —
+        a prefix-only index (commit reports stopped, or the observer
+        switched to a chain the index was not following) has exact
+        *per-block* materializations but an incomplete total.  Either way
+        the quiescent whole-system sum falls back to the full scan.
+        """
+        for shard_id, cluster in self._clusters.items():
+            if shard_id == REFERENCE_SHARD_ID:
+                continue  # the reference committee holds no benchmark state
+            observer = cluster.honest_observer()
+            chain = observer.blockchain
+            if (observer._committed_before_join > 0
+                    or self.index.tip_height(shard_id) != chain.height
+                    or self.index.tip_hash(shard_id) != chain.tip.block_hash):
+                return False
+        return True
+
+    def _margin_violations_for(self,
+                               transition) -> List[AuditViolation]:
+        if transition.strategy != "swap-batch":
+            return []  # swap-all gives up the quorum by design
         violations = []
-        for transition in self.system.epoch_transitions:
-            if transition.strategy != "swap-batch":
-                continue  # swap-all gives up the quorum by design
-            for shard_id, margin in sorted(transition.min_active_margin.items()):
-                if margin < 0:
-                    violations.append(AuditViolation(
-                        "epoch-quorum-margin", shard_id,
-                        f"epoch {transition.epoch} swap-batch transition left "
-                        f"the committee {-margin} member(s) short of its "
-                        "quorum"))
+        for shard_id, margin in sorted(transition.min_active_margin.items()):
+            if margin < 0:
+                violations.append(AuditViolation(
+                    "epoch-quorum-margin", shard_id,
+                    f"epoch {transition.epoch} swap-batch transition left "
+                    f"the committee {-margin} member(s) short of its "
+                    "quorum"))
         return violations
+
+    def _check_epoch_margins(self) -> List[AuditViolation]:
+        """Quorum margins, incrementally: finished transitions fold in once.
+
+        The contiguous prefix of *completed* transitions is consumed exactly
+        once (its violations persist in ``_margin_violations`` and re-appear
+        in every later report); anything after it — an in-progress
+        transition whose margins are still moving — is re-scanned each call
+        without being consumed.
+        """
+        transitions = self.system.epoch_transitions
+        consumed = self._margins_consumed
+        while (consumed < len(transitions)
+               and transitions[consumed].completed_at is not None):
+            self._margin_violations.extend(
+                self._margin_violations_for(transitions[consumed]))
+            consumed += 1
+        self._margins_consumed = consumed
+        pending: List[AuditViolation] = []
+        for transition in transitions[consumed:]:
+            pending.extend(self._margin_violations_for(transition))
+        return list(self._margin_violations) + pending

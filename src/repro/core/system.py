@@ -116,6 +116,7 @@ from repro.core.config import ShardedSystemConfig
 from repro.core.splitters import splitter_for
 from repro.errors import ConfigurationError
 from repro.ledger.chaincode import ChaincodeRegistry
+from repro.ledger.index import LedgerIndex
 from repro.ledger.state import StateStore
 from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
 from repro.sharding.assignment import assign_committees
@@ -392,6 +393,8 @@ class ShardedBlockchain:
         self._replica_of: Dict[int, int] = self._initial_replica_map()
         #: History of executed epoch transitions (stats + their plans).
         self.epoch_transitions: List[EpochTransitionStats] = []
+        #: The commit-time analytics index (None until ``enable_analytics``).
+        self.analytics: Optional[LedgerIndex] = None
         self._active_transition: Optional[_ActiveTransition] = None
         self.reconfigurations_completed = 0
         self.epoch_boundaries_skipped = 0
@@ -500,16 +503,30 @@ class ShardedBlockchain:
             max_series_samples=self.config.max_series_samples,
         )
 
-    def _populate_states(self) -> None:
-        """Load every shard's replicas with the keys that hash to that shard."""
+    def _initial_items(self) -> List[Tuple[str, object]]:
+        """The benchmark's initial (key, value) table, before shard routing."""
         if self.config.benchmark == "smallbank":
             from repro.workloads.smallbank import initial_balances
 
-            items = list(initial_balances(self.config.num_keys).items())
-        else:
-            workload = KVStoreWorkload(num_keys=self.config.num_keys)
-            items = [(workload.key_name(i), "0" * 8) for i in range(min(self.config.num_keys, 5000))]
-        for key, value in items:
+            return list(initial_balances(self.config.num_keys).items())
+        workload = KVStoreWorkload(num_keys=self.config.num_keys)
+        return [(workload.key_name(i), "0" * 8)
+                for i in range(min(self.config.num_keys, 5000))]
+
+    def populate_initial_state(self, shard_id: int, state: StateStore) -> None:
+        """Load one shard's slice of the initial table into ``state``.
+
+        The same population every shard replica got at construction — the
+        rebuild oracle uses this to seed its replay engines so re-derived
+        receipts match the live execution exactly.
+        """
+        for key, value in self._initial_items():
+            if self.shard_of_key(key) == shard_id:
+                state.put(key, value)
+
+    def _populate_states(self) -> None:
+        """Load every shard's replicas with the keys that hash to that shard."""
+        for key, value in self._initial_items():
             shard_id = self.shard_of_key(key)
             for replica in self.shards[shard_id].replicas:
                 replica.state.put(key, value)
@@ -1057,6 +1074,58 @@ class ShardedBlockchain:
         """
         return dict(self.shards)
 
+    # --------------------------------------------------------------- analytics
+    def enable_analytics(self, account_history: bool = True) -> LedgerIndex:
+        """Attach a commit-time :class:`LedgerIndex` to this deployment.
+
+        Idempotent — the first call builds the index and subscribes it to
+        every committee's commits (through the same engine-neutral
+        :meth:`audit_clusters` path the auditor uses, so it works on both
+        the legacy engine and the scale-out engine's inline partitions);
+        later calls return the same index.  Each shard is registered at its
+        chain height at attach time, so an index enabled before the run
+        (the normal case) sees every block from height 1.
+
+        The index is a pure observer: enabling it never schedules events,
+        so an indexed run commits exactly the same blocks as a bare one.
+        """
+        if self.analytics is not None:
+            return self.analytics
+        index = LedgerIndex(account_history=account_history)
+        clusters = dict(self.audit_clusters())
+        if self.reference is not None:
+            clusters[REFERENCE_SHARD_ID] = self.reference
+        for shard_id, cluster in clusters.items():
+            chain = cluster.honest_observer().blockchain
+            index.register_shard(shard_id, origin_height=chain.height,
+                                 origin_hash=chain.tip.block_hash)
+            cluster.subscribe_commits(
+                self._make_index_observer(index, shard_id, cluster))
+        for stats in self.epoch_transitions:
+            if stats.completed_at is not None:
+                index.record_epoch_transition(stats.epoch, stats.strategy,
+                                              stats.min_active_margin)
+        self.analytics = index
+        return index
+
+    def _make_index_observer(self, index: LedgerIndex, shard_id: int,
+                             cluster: ConsensusCluster) -> Callable[[CommitEvent], None]:
+        def on_commit(event: CommitEvent) -> None:
+            # After membership changes the committee fans commits out from
+            # *every* member, including Byzantine ones (whose local chains
+            # are allowed to be garbage) and reports the same height many
+            # times; ingest only honest reports and let the index's
+            # first-writer-per-height dedup absorb the duplicates.
+            try:
+                replica = cluster.replica_by_id(event.replica_id)
+            except ConfigurationError:
+                return  # a departed member's late report
+            if replica.byzantine is not None:
+                return
+            epoch = self.epochs.epoch_of(event.block.header.timestamp)
+            index.ingest_block(shard_id, event.block, event.receipts, epoch=epoch)
+        return on_commit
+
     # ------------------------------------------------- epochs/reconfiguration
     @property
     def current_epoch(self) -> int:
@@ -1240,6 +1309,12 @@ class ShardedBlockchain:
         transition.stats.completed_at = self.sim.now
         self.reconfigurations_completed += 1
         self._active_transition = None
+        if self.analytics is not None:
+            # The single wiring point (shared with the scale-out engine) that
+            # materializes a finished transition's quorum margins.
+            self.analytics.record_epoch_transition(
+                transition.stats.epoch, transition.stats.strategy,
+                transition.stats.min_active_margin)
 
     def throughput_over_time(self, bucket_seconds: float = 5.0) -> List[tuple]:
         """Committed-transaction rate over time, aggregated across shards."""

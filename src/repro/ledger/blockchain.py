@@ -84,10 +84,24 @@ class Blockchain:
         return block
 
     def block_by_hash(self, block_hash: str) -> Optional[Block]:
+        """Body of the committed block with this hash, or None if never committed.
+
+        A hash that *was* committed but whose body was pruned under
+        header-only retention raises :class:`InvalidBlockError` (mirroring
+        :meth:`block_at`) instead of returning None — callers must be able
+        to tell a bogus hash from a GC'd one.
+        """
         height = self._height_by_hash.get(block_hash)
         if height is None:
             return None
-        return self._bodies.get(height)
+        block = self._bodies.get(height)
+        if block is None:
+            raise InvalidBlockError(
+                f"block {block_hash[:12]}… at height {height} was committed but "
+                f"its body was pruned (header-only retention keeps the last "
+                f"{self.retain_recent}); use header_at({height}) instead"
+            )
+        return block
 
     def blocks(self) -> List[Block]:
         """A copy of the retained full blocks, lowest height first.
@@ -134,11 +148,26 @@ class Blockchain:
 
     def verify_chain(self) -> bool:
         """Re-validate every hash pointer (headers) and every retained body's root."""
-        for prev, current in zip(self._headers, self._headers[1:]):
+        return self.verify_suffix(0)
+
+    def verify_suffix(self, from_height: int) -> bool:
+        """Re-validate hash pointers from ``from_height`` to the tip only.
+
+        The incremental form of :meth:`verify_chain`: a caller that already
+        verified the chain up to ``from_height`` (and holds the hash it saw
+        there) only needs the new suffix checked — O(blocks since last
+        verify), not O(chain).  Checks every header link in
+        ``[from_height, tip]`` plus the Merkle root of every *retained* body
+        in that range.  ``from_height`` at or past the tip verifies nothing
+        and returns True.
+        """
+        start = max(from_height, 0)
+        for prev, current in zip(self._headers[start:], self._headers[start + 1:]):
             if current.prev_hash != prev.block_hash or current.height != prev.height + 1:
                 return False
-        for block in self._bodies.values():
-            if not block.verify_merkle_root():
+        for height in range(start, self.height + 1):
+            block = self._bodies.get(height)
+            if block is not None and not block.verify_merkle_root():
                 return False
         return True
 

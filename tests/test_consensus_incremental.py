@@ -254,7 +254,11 @@ class TestLedgerFastPaths:
             chain.append(block)
             blocks.append(block)
         assert chain.block_by_hash(blocks[-1].block_hash) is blocks[-1]
-        assert chain.block_by_hash(blocks[0].block_hash) is None  # pruned body
+        # A committed-but-pruned body is an error naming the height, not a
+        # silent None — None is reserved for hashes never committed at all.
+        with pytest.raises(InvalidBlockError, match="height 1"):
+            chain.block_by_hash(blocks[0].block_hash)
+        assert chain.block_by_hash("never-committed") is None
 
 
 # ------------------------------------------------------------ forkable chains

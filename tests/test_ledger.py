@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ChaincodeError, InvalidBlockError
 from repro.ledger.block import GENESIS_PREV_HASH, build_block, make_genesis_block
@@ -130,6 +132,37 @@ class TestForkableChain:
         main = chain.main_chain()
         for parent, child in zip(main, main[1:]):
             assert child.prev_hash == parent.block_hash
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10**6),
+                              st.integers(min_value=1, max_value=8)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_on_main_marker_matches_main_chain_under_reorgs(self, branch_plan, seed):
+        """``_on_main`` must stay exactly the main-chain hash set.
+
+        The marker is maintained incrementally (O(1) tip extension, junction
+        walk on reorg); this drives randomized *deep* reorgs — each step
+        grows a branch of several blocks off an arbitrary known block, so
+        reorgs can retire and adopt long segments at once — and re-derives
+        the expected set from a from-scratch ``main_chain()`` walk.
+        """
+        rng = random.Random(seed)
+        chain = ForkableChain()
+        known = [chain.best_tip]
+        step = 0
+        for choice, branch_length in branch_plan:
+            parent = known[choice % len(known)]
+            for _ in range(branch_length):
+                step += 1
+                block = build_block(parent.height + 1, parent.block_hash, (),
+                                    proposer=rng.randrange(5),
+                                    timestamp=float(step))
+                chain.add_block(block)
+                known.append(block)
+                parent = block
+            assert chain._on_main == {b.block_hash for b in chain.main_chain()}
+            assert chain.stale_blocks() == chain.total_blocks() - len(chain._on_main)
 
 
 class TestStateStore:
