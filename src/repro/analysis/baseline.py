@@ -1,0 +1,68 @@
+"""Grandfather baseline for detlint findings.
+
+A committed baseline file lets the lint gate land *before* every historical
+finding is fixed: findings whose fingerprint appears in the baseline are
+reported but do not fail the run, while any **new** finding does.  The
+fingerprint hashes rule + file + enclosing definition + normalized source
+text (not line numbers), so unrelated edits don't orphan entries.
+
+This repo's committed baseline (``detlint_baseline.json``) is empty — every
+true positive the analyzer flushed out was fixed in the PR that introduced
+it — but the mechanism is load-bearing for future rules: tightening a rule
+should never force an all-at-once cleanup to keep CI green.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Default baseline location, repo-root relative.
+DEFAULT_BASELINE = "detlint_baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding fingerprints, with context for humans."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}")
+        return cls(entries=dict(data.get("findings", {})), path=path)
+
+    @classmethod
+    def load_or_empty(cls, path: Optional[Path]) -> "Baseline":
+        if path is not None and path.exists():
+            return cls.load(path)
+        return cls(path=path)
+
+    def write(self, findings: List, path: Optional[Path] = None) -> Path:
+        """Write a baseline grandfathering every *active* finding given."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        entries = {
+            finding.fingerprint(): {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "function": finding.function,
+                "message": finding.message,
+            }
+            for finding in findings if not finding.suppressed
+        }
+        payload = {"version": _VERSION, "findings": entries}
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return target

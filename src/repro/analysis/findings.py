@@ -1,0 +1,114 @@
+"""Finding and provenance data model for the detlint analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Every
+finding carries a *provenance chain* — the ordered ``source → flow → sink``
+steps that explain why the rule fired (in the why-provenance spirit: the
+expression that introduced the hazard, the step that propagated it, and the
+call where it becomes observable).  Findings are identified across commits
+by a :meth:`Finding.fingerprint` that hashes the rule, file, enclosing
+definition and normalized source text — not the line number — so a
+grandfathered baseline survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ProvenanceStep:
+    """One step of a finding's source → flow → sink explanation."""
+
+    role: str  #: "source", "flow" or "sink"
+    line: int
+    col: int
+    text: str  #: the source snippet at this step
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"role": self.role, "line": self.line, "col": self.col,
+                "text": self.text}
+
+
+@dataclass
+class Finding:
+    """One rule violation, with its provenance chain and suppression state."""
+
+    rule_id: str
+    path: str  #: repo-relative posix path of the offending file
+    line: int
+    col: int
+    message: str
+    function: str = ""  #: enclosing ``Class.method`` qualname ("" = module level)
+    scope: str = "default"  #: policy scope the file was analyzed under
+    provenance: Tuple[ProvenanceStep, ...] = ()
+    suppressed: bool = False
+    justification: str = ""  #: the suppression's required justification text
+    baselined: bool = False
+
+    @property
+    def counts(self) -> bool:
+        """True when the finding should fail the run (not suppressed/baselined)."""
+        return not (self.suppressed or self.baselined)
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the grandfather baseline.
+
+        Hashes the rule, file, enclosing definition and the *normalized*
+        source text of the offending line (taken from the provenance sink,
+        falling back to the first step) — deliberately not the line number,
+        so edits elsewhere in the file do not orphan baseline entries.
+        """
+        snippet = ""
+        for step in self.provenance:
+            snippet = step.text
+            if step.role == "sink":
+                break
+        payload = "|".join((self.rule_id, self.path, self.function,
+                            " ".join(snippet.split())))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "function": self.function,
+            "scope": self.scope,
+            "fingerprint": self.fingerprint(),
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+            "baselined": self.baselined,
+            "provenance": [step.to_dict() for step in self.provenance],
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one engine run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    files_skipped: int = 0
+    strict: bool = False
+    paths: Tuple[str, ...] = ()
+    #: PKL barrier-class closure: sorted ``module:Class`` names the pickle
+    #: pass statically covered (cross-checked against the runtime guard).
+    barrier_closure: Tuple[str, ...] = ()
+    #: Suppression comments that matched no finding (stale disables).
+    unused_suppressions: Tuple[str, ...] = ()
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count toward the exit code."""
+        return [finding for finding in self.findings if finding.counts]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0

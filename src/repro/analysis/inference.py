@@ -1,0 +1,217 @@
+"""Lightweight set-type inference for the ordering rules (DET003/DET005).
+
+This is deliberately *not* a type checker.  It answers one question — "is
+this expression plausibly an unordered ``set``/``frozenset``?" — from four
+cheap evidence sources, all local to the analyzed module:
+
+1. **literals and constructors**: ``{a, b}``, set comprehensions,
+   ``set(...)`` / ``frozenset(...)`` calls;
+2. **set algebra**: ``|  &  -  ^`` between set-typed operands, and the
+   order-preserving-but-still-unordered methods ``union`` /
+   ``intersection`` / ``difference`` / ``symmetric_difference`` / ``copy``;
+3. **annotations**: variable, parameter, attribute and dataclass-field
+   annotations spelled ``set[...]``, ``Set[...]``, ``frozenset``,
+   ``FrozenSet``, ``AbstractSet`` or ``MutableSet`` (attribute annotations
+   are indexed module-wide by *attribute name*, so ``parked.keys_outstanding``
+   is set-typed anywhere in a module whose ``_Parked`` dataclass declares
+   ``keys_outstanding: Set[str]``);
+4. **local return types**: calls to same-module functions/methods whose
+   return annotation is set-like.
+
+Wrapping in ``sorted(...)`` launders the taint (a sorted list has a
+canonical order); ``list(...)`` / ``tuple(...)`` / ``reversed(...)`` and
+comprehensions *keep* it, because they freeze the nondeterministic iteration
+order instead of canonicalizing it.
+
+Known limits (by design — documented in the engine docstring): no
+cross-module types, no flow through containers, no ``self`` receiver types
+for dict-subclass idioms, and attribute evidence is name-based (two
+attributes sharing a name share a verdict).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+_SET_ANNOTATION = re.compile(
+    r"^(typing\.)?(Optional\[)?\s*"
+    r"(set|frozenset|Set|FrozenSet|AbstractSet|MutableSet)\b")
+
+#: Methods of set objects whose result is itself an unordered set.
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference", "copy"})
+
+#: Wrappers that preserve (rather than canonicalize) iteration order.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "reversed", "iter"})
+
+
+def annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    """True when an annotation node spells a set-like type."""
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation).strip("'\"")
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return bool(_SET_ANNOTATION.match(text))
+
+
+@dataclass(frozen=True)
+class SetEvidence:
+    """Why an expression is believed set-typed (feeds the provenance chain)."""
+
+    line: int
+    col: int
+    reason: str
+    text: str
+
+
+class ModuleSetIndex:
+    """Module-wide name-based evidence: set-annotated attributes & returns."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: Attribute / dataclass-field names annotated set-like anywhere.
+        self.set_attrs: Dict[str, SetEvidence] = {}
+        #: Function/method names whose return annotation is set-like.
+        self.set_returns: Dict[str, SetEvidence] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and annotation_is_set(node.annotation):
+                target = node.target
+                name = None
+                if isinstance(target, ast.Attribute):
+                    name = target.attr
+                elif isinstance(target, ast.Name):
+                    name = target.id
+                if name is not None:
+                    self.set_attrs[name] = SetEvidence(
+                        node.lineno, node.col_offset,
+                        f"annotated {ast.unparse(node.annotation)}",
+                        ast.unparse(target))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if annotation_is_set(node.returns):
+                    self.set_returns[node.name] = SetEvidence(
+                        node.lineno, node.col_offset,
+                        f"returns {ast.unparse(node.returns)}", node.name)
+
+
+class FunctionSetTypes:
+    """Intra-function fixpoint over local assignments (one forward pass
+
+    per iteration; loops converge because evidence only ever grows)."""
+
+    def __init__(self, fn: ast.AST, index: ModuleSetIndex) -> None:
+        self.index = index
+        self.locals: Dict[str, SetEvidence] = {}
+        for arg in getattr(getattr(fn, "args", None), "args", []):
+            if annotation_is_set(arg.annotation):
+                self.locals[arg.arg] = SetEvidence(
+                    arg.lineno, arg.col_offset,
+                    f"parameter annotated {ast.unparse(arg.annotation)}", arg.arg)
+        body = getattr(fn, "body", [])
+        for _ in range(3):  # small fixpoint: x = s; y = x | t; ...
+            before = len(self.locals)
+            for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+                self._visit(node)
+            if len(self.locals) == before:
+                break
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            evidence = self.evidence_for(node.value)
+            if evidence is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.locals[target.id] = evidence
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if annotation_is_set(node.annotation):
+                self.locals[node.target.id] = SetEvidence(
+                    node.lineno, node.col_offset,
+                    f"annotated {ast.unparse(node.annotation)}", node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitOr):
+            if isinstance(node.target, ast.Name) and \
+                    self.evidence_for(node.value) is not None:
+                self.locals[node.target.id] = self.evidence_for(node.value)
+
+    def evidence_for(self, expr: Optional[ast.AST],
+                     _depth: int = 0) -> Optional[SetEvidence]:
+        """Evidence that ``expr`` is (or freezes the order of) a set."""
+        if expr is None or _depth > 6:
+            return None
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return SetEvidence(expr.lineno, expr.col_offset, "set literal",
+                               _snippet(expr))
+        if isinstance(expr, ast.Name):
+            return self.locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            found = self.index.set_attrs.get(expr.attr)
+            if found is not None:
+                return SetEvidence(expr.lineno, expr.col_offset, found.reason,
+                                   _snippet(expr))
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            left = self.evidence_for(expr.left, _depth + 1)
+            right = self.evidence_for(expr.right, _depth + 1)
+            evidence = left or right
+            if left is not None or right is not None:
+                return SetEvidence(expr.lineno, expr.col_offset,
+                                   f"set algebra ({evidence.reason})",
+                                   _snippet(expr))
+            return None
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            # A comprehension over a set freezes its arbitrary order.
+            inner = self.evidence_for(expr.generators[0].iter, _depth + 1)
+            if inner is not None:
+                return SetEvidence(expr.lineno, expr.col_offset,
+                                   f"comprehension over set ({inner.reason})",
+                                   _snippet(expr))
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_evidence(expr, _depth)
+        return None
+
+    def _call_evidence(self, call: ast.Call,
+                       _depth: int) -> Optional[SetEvidence]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return SetEvidence(call.lineno, call.col_offset,
+                                   f"{func.id}() constructor", _snippet(call))
+            if func.id == "sorted":
+                return None  # canonical order: taint laundered
+            if func.id in _ORDER_PRESERVING and call.args:
+                inner = self.evidence_for(call.args[0], _depth + 1)
+                if inner is not None:
+                    return SetEvidence(
+                        call.lineno, call.col_offset,
+                        f"{func.id}() freezes set order ({inner.reason})",
+                        _snippet(call))
+                return None
+            found = self.index.set_returns.get(func.id)
+            if found is not None:
+                return SetEvidence(call.lineno, call.col_offset, found.reason,
+                                   _snippet(call))
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_METHODS and \
+                    self.evidence_for(func.value, _depth + 1) is not None:
+                return SetEvidence(call.lineno, call.col_offset,
+                                   f".{func.attr}() of a set", _snippet(call))
+            found = self.index.set_returns.get(func.attr)
+            if found is not None:
+                return SetEvidence(call.lineno, call.col_offset, found.reason,
+                                   _snippet(call))
+        return None
+
+    def names(self) -> Set[str]:
+        return set(self.locals)
+
+
+def _snippet(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover
+        return "<expr>"

@@ -1,0 +1,67 @@
+"""DET004: builtin ``hash()`` / ``id()`` values leaking into protocol state.
+
+``hash(str)`` is salted per-process by ``PYTHONHASHSEED``, so any protocol
+value derived from it differs between runs (and between the coordinator and
+a worker subprocess).  ``id()`` is a raw heap address — different every run
+by construction.  Keying a dict, choosing a leader, or stamping a message
+with either makes the fingerprint contract unreproducible in the quietest
+possible way: everything works until two processes compare notes.
+
+Exemptions: calls inside a ``__hash__`` definition (delegating to member
+hashes is how you *implement* hashing) and bare expression statements
+(a discarded ``hash(x)`` can't leak anywhere).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, ProvenanceStep
+from repro.analysis.registry import Rule, register
+
+_MESSAGES = {
+    "hash": ("builtin hash() is PYTHONHASHSEED-salted for str/bytes; derive "
+             "keys from stable fields (or hashlib) instead"),
+    "id": ("builtin id() is a heap address — unique per process, different "
+           "every run; key by a deterministic identifier instead"),
+}
+
+
+@register
+class HashIdRule(Rule):
+    rule_id = "DET004"
+    title = "PYTHONHASHSEED/address-dependent hash() or id() use"
+    description = """\
+    Flags builtin hash() and id() calls whose result is consumed.  hash(str)
+    is salted per process; id() is a heap address.  Both silently break
+    cross-process reproducibility.  Calls inside __hash__ and discarded
+    expression statements are exempt."""
+
+    def check_module(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Name) and
+                    node.func.id in _MESSAGES):
+                continue
+            # A local/imported redefinition of hash/id is not the builtin.
+            if module.imports.get(node.func.id, node.func.id) != node.func.id:
+                continue
+            if isinstance(module.parent(node), ast.Expr):
+                continue  # bare statement: value discarded
+            enclosing = module.enclosing_function(node)
+            if enclosing is not None and enclosing.name == "__hash__":
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath, line=node.lineno, col=node.col_offset,
+                message=_MESSAGES[node.func.id],
+                function=module.qualname_of(node),
+                scope=module.scope,
+                provenance=(
+                    ProvenanceStep("source", node.lineno, node.col_offset,
+                                   f"{node.func.id}(...)"),
+                    ProvenanceStep("sink", node.lineno, node.col_offset,
+                                   module.line_text(node.lineno)),
+                ),
+            )

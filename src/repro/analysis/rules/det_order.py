@@ -1,0 +1,112 @@
+"""DET005: single-element extraction that depends on container order.
+
+``next(iter(some_set))`` picks an *arbitrary* element; ``some_set.pop()``
+removes one.  Both are PYTHONHASHSEED-dependent for string elements, so a
+"grab any one" idiom over a set silently becomes "grab a different one per
+process".  ``dict.popitem()`` with no arguments is flagged too: which end
+it pops is an implementation detail callers routinely get wrong, and
+migrating a dict to a set keeps the code compiling while changing the
+semantics.  ``popitem(last=False)`` (the explicit OrderedDict FIFO idiom)
+is deliberately silent — the keyword states the intended order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, ProvenanceStep
+from repro.analysis.registry import Rule, register
+
+
+@register
+class OrderDependentPickRule(Rule):
+    rule_id = "DET005"
+    title = "order-dependent element extraction from an unordered container"
+    description = """\
+    Flags next(iter(set)), set.pop() and bare dict.popitem(): each yields an
+    arbitrary (hash-order-dependent) element.  Use min()/max() or sorted()
+    to pick canonically; popitem(last=False) is silent because the kwarg
+    pins the order."""
+
+    def check_module(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = (self._next_iter(module, node) or
+                       self._pop(module, node))
+            if finding is not None:
+                yield finding
+
+    def _next_iter(self, module, call: ast.Call):
+        """``next(iter(X))`` where X is set-typed."""
+        if not (isinstance(call.func, ast.Name) and call.func.id == "next"
+                and call.args):
+            return None
+        inner = call.args[0]
+        if not (isinstance(inner, ast.Call) and
+                isinstance(inner.func, ast.Name) and
+                inner.func.id == "iter" and inner.args):
+            return None
+        fn = module.enclosing_function(call) or module.tree
+        evidence = module.set_types(fn).evidence_for(inner.args[0])
+        if evidence is None:
+            return None
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.relpath, line=call.lineno, col=call.col_offset,
+            message=(f"next(iter(...)) over a set ({evidence.reason}) "
+                     "returns an arbitrary element; use min()/sorted() for "
+                     "a canonical pick"),
+            function=module.qualname_of(call),
+            scope=module.scope,
+            provenance=(
+                ProvenanceStep("source", evidence.line, evidence.col,
+                               f"{evidence.text} [{evidence.reason}]"),
+                ProvenanceStep("flow", inner.lineno, inner.col_offset,
+                               f"iter({ast.unparse(inner.args[0])})"),
+                ProvenanceStep("sink", call.lineno, call.col_offset,
+                               module.line_text(call.lineno)),
+            ),
+        )
+
+    def _pop(self, module, call: ast.Call):
+        """Zero-arg ``set.pop()`` / ``dict.popitem()``."""
+        if not (isinstance(call.func, ast.Attribute) and
+                not call.args and not call.keywords):
+            return None
+        receiver = call.func.value
+        if call.func.attr == "popitem":
+            return Finding(
+                rule_id=self.rule_id,
+                path=module.relpath, line=call.lineno, col=call.col_offset,
+                message=("bare .popitem() relies on implicit container "
+                         "order; state the intent with popitem(last=...) "
+                         "or pick via min()/sorted()"),
+                function=module.qualname_of(call),
+                scope=module.scope,
+                provenance=(
+                    ProvenanceStep("sink", call.lineno, call.col_offset,
+                                   module.line_text(call.lineno)),
+                ),
+            )
+        if call.func.attr != "pop":
+            return None
+        fn = module.enclosing_function(call) or module.tree
+        evidence = module.set_types(fn).evidence_for(receiver)
+        if evidence is None:
+            return None
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.relpath, line=call.lineno, col=call.col_offset,
+            message=(f"set.pop() ({evidence.reason}) removes an arbitrary "
+                     "element; pop min(...) / sorted(...)[0] instead"),
+            function=module.qualname_of(call),
+            scope=module.scope,
+            provenance=(
+                ProvenanceStep("source", evidence.line, evidence.col,
+                               f"{evidence.text} [{evidence.reason}]"),
+                ProvenanceStep("sink", call.lineno, call.col_offset,
+                               module.line_text(call.lineno)),
+            ),
+        )

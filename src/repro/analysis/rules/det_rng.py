@@ -1,0 +1,107 @@
+"""DET002: unseeded or process-global randomness sources.
+
+The whole reproduction forks every stream from a seeded root
+(``Simulator.fork_rng``), so two sources of randomness are contraband:
+
+* **process-global state** — module-level ``random.*`` functions,
+  module-level ``numpy.random.*`` sampling, ``random.seed`` (which mutates
+  the shared generator any import can also touch);
+* **environment entropy** — ``uuid.uuid1/uuid4``, ``os.urandom``,
+  ``secrets.*``, ``random.SystemRandom``, and **unseeded** constructors
+  (bare ``random.Random()``, ``numpy.random.default_rng()`` /
+  ``RandomState()`` without a seed argument).
+
+Seeded constructors — ``random.Random(seed)``, ``default_rng(seed)`` — are
+clean: deterministic streams are the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding, ProvenanceStep
+from repro.analysis.registry import Rule, register
+
+#: Always-flagged entropy sources (qualified call names / prefixes).
+_ENTROPY_CALLS = frozenset({
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom",
+    "random.SystemRandom",
+})
+_ENTROPY_PREFIXES = ("secrets.",)
+
+#: Constructors that are clean *iff* a seed argument is supplied.
+_SEEDABLE = frozenset({
+    "random.Random", "numpy.random.default_rng", "numpy.random.RandomState",
+})
+
+#: numpy.random module-level names that are explicit generator objects or
+#: helpers, not draws from the hidden global generator.
+_NUMPY_NON_GLOBAL = frozenset({"default_rng", "RandomState", "Generator",
+                               "SeedSequence", "BitGenerator", "Philox",
+                               "PCG64", "MT19937"})
+
+
+def _seeded(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in call.keywords)
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "DET002"
+    title = "unseeded or global-state randomness source"
+    description = """\
+    Flags module-level random.*/numpy.random.* draws (process-global
+    state), entropy sources (uuid4, os.urandom, secrets, SystemRandom) and
+    bare unseeded constructors (random.Random(), default_rng(),
+    RandomState()).  Fork deterministic streams from the seeded simulator
+    (Simulator.fork_rng) instead."""
+
+    def check_module(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_call(node.func)
+            if not resolved:
+                continue
+            reason = self._violation(resolved, node)
+            if reason is None:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath, line=node.lineno, col=node.col_offset,
+                message=reason,
+                function=module.qualname_of(node),
+                scope=module.scope,
+                provenance=(
+                    ProvenanceStep("source", node.lineno, node.col_offset,
+                                   f"{resolved}(...)"),
+                    ProvenanceStep("sink", node.lineno, node.col_offset,
+                                   module.line_text(node.lineno)),
+                ),
+            )
+
+    def _violation(self, resolved: str, call: ast.Call) -> Optional[str]:
+        if resolved in _ENTROPY_CALLS or \
+                any(resolved.startswith(p) for p in _ENTROPY_PREFIXES):
+            return (f"{resolved}() draws environment entropy; every stream "
+                    "must derive from the run seed")
+        if resolved in _SEEDABLE:
+            if _seeded(call):
+                return None
+            return (f"bare {resolved}() is seeded from OS entropy; pass an "
+                    "explicit seed (or transplant state from a seeded "
+                    "stream)")
+        parts = resolved.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            # Any other module-level random.* call shares the process-global
+            # Mersenne Twister (including random.seed, which mutates it).
+            return (f"{resolved}() uses the process-global random generator; "
+                    "use a forked seeded random.Random stream")
+        if parts[:2] == ["numpy", "random"] and len(parts) == 3 and \
+                parts[2] not in _NUMPY_NON_GLOBAL:
+            return (f"{resolved}() draws from numpy's hidden global "
+                    "generator; construct a seeded Generator/RandomState")
+        return None

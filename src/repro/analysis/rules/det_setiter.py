@@ -1,0 +1,121 @@
+"""DET003: unordered set iteration escaping into scheduling/fan-out sinks.
+
+Iterating a ``set`` is fine while the result is order-insensitive (sums,
+membership, ``min``/``max``).  It stops being fine the moment the arbitrary
+iteration order reaches a *sink* that serializes it into the event stream —
+``schedule``/``send``/``broadcast``/``submit`` and friends — because then
+two runs with the same seed can interleave messages differently and the
+bit-identical fingerprint contract breaks.
+
+The rule flags two shapes, with a provenance chain from the set evidence to
+the sink call:
+
+* a set-typed expression passed **directly** as an argument to a fan-out
+  sink (``self.network.broadcast(src, peers, msg)`` with ``peers: Set``);
+* a ``for`` loop over a set-typed iterable whose body **contains** a sink
+  call (each iteration emits in arbitrary order).
+
+``sorted(...)`` launders the taint; ``list()``/``tuple()``/comprehensions
+keep it (they freeze the arbitrary order instead of canonicalizing it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding, ProvenanceStep
+from repro.analysis.policy import FANOUT_SINKS
+from repro.analysis.registry import Rule, register
+
+
+def _sink_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute) and func.attr in FANOUT_SINKS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in FANOUT_SINKS:
+        return func.id
+    return None
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "DET003"
+    title = "set iteration order escapes into a fan-out sink"
+    description = """\
+    Flags set-typed values passed to (or looped over around) scheduling /
+    send / fan-out calls: schedule, send, broadcast, submit, dispatch, ...
+    Arbitrary set order serialized into the event stream breaks the
+    workers=1 == workers=N fingerprint contract.  Wrap the set in sorted()
+    to canonicalize."""
+
+    def check_module(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_loop(module, node)
+
+    # ------------------------------------------------------------- shapes
+    def _check_call(self, module, call: ast.Call) -> Iterable[Finding]:
+        sink = _sink_name(call.func)
+        if sink is None:
+            return
+        fn = module.enclosing_function(call) or module.tree
+        types = module.set_types(fn)
+        for arg in call.args:
+            evidence = types.evidence_for(arg)
+            if evidence is None:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath, line=call.lineno, col=call.col_offset,
+                message=(f"set-typed value ({evidence.reason}) passed to "
+                         f"fan-out sink {sink}(); iteration order is "
+                         "arbitrary — wrap in sorted(...)"),
+                function=module.qualname_of(call),
+                scope=module.scope,
+                provenance=(
+                    ProvenanceStep("source", evidence.line, evidence.col,
+                                   f"{evidence.text} [{evidence.reason}]"),
+                    ProvenanceStep("flow", arg.lineno, arg.col_offset,
+                                   f"argument {ast.unparse(arg)}"),
+                    ProvenanceStep("sink", call.lineno, call.col_offset,
+                                   module.line_text(call.lineno)),
+                ),
+            )
+
+    def _check_loop(self, module, loop: ast.For) -> Iterable[Finding]:
+        fn = module.enclosing_function(loop) or module.tree
+        types = module.set_types(fn)
+        evidence = types.evidence_for(loop.iter)
+        if evidence is None:
+            return
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                sink = _sink_name(node.func)
+                if sink is None:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=module.relpath, line=node.lineno,
+                    col=node.col_offset,
+                    message=(f"loop over set-typed iterable "
+                             f"({evidence.reason}) reaches fan-out sink "
+                             f"{sink}(); each iteration emits in arbitrary "
+                             "order — iterate sorted(...)"),
+                    function=module.qualname_of(node),
+                    scope=module.scope,
+                    provenance=(
+                        ProvenanceStep("source", evidence.line, evidence.col,
+                                       f"{evidence.text} "
+                                       f"[{evidence.reason}]"),
+                        ProvenanceStep("flow", loop.lineno, loop.col_offset,
+                                       f"for loop over "
+                                       f"{ast.unparse(loop.iter)}"),
+                        ProvenanceStep("sink", node.lineno, node.col_offset,
+                                       module.line_text(node.lineno)),
+                    ),
+                )
+                return  # one finding per loop is enough signal

@@ -1,0 +1,249 @@
+"""PKL001–003: static pickle-safety for classes crossing barrier windows.
+
+Scale-out ships three kinds of objects over worker pipes every barrier
+window: ``WindowBlock`` (parent → worker), ``WindowResult`` (worker →
+parent) and the ``Command``/report payloads they carry.  The runtime suite
+already guards ``Command.__reduce__`` against field drift — but only for
+classes it knows to instantiate.  This pass computes the *transitive
+closure* of barrier-crossing classes statically (roots → subclasses →
+field-annotation references) and verifies each one:
+
+* **PKL001** — a hand-written ``__reduce__`` must be the canonical
+  ``return (Cls, (self.f0, self.f1, ...))`` positional tuple covering
+  every dataclass field **in declaration order**; a missing or reordered
+  field silently truncates state on the wire.
+* **PKL002** — no field may be typed as a known-unpicklable runtime object
+  (callables, threads/locks, live simulator plumbing) or default to a
+  lambda; those poison the pickle at send time, but only on the first
+  window that actually carries one.
+* **PKL003** — a ``set``-typed field without ``__reduce__``/``__getstate__``
+  pickles in arbitrary iteration order, so equal objects produce unequal
+  bytes and any byte-level dedup/fingerprint of the stream goes flaky.
+
+The computed closure is exposed as ``last_closure`` on PKL001 and lands in
+the report (and the JSON artifact), so the runtime reduce-coverage test can
+cross-check that static reach ⊇ runtime reach.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, ProvenanceStep
+from repro.analysis.inference import _SET_ANNOTATION
+from repro.analysis.policy import BARRIER_ROOTS
+from repro.analysis.registry import Rule, register
+
+#: Annotation identifiers that name objects pickle cannot (or must not)
+#: serialize: callables, OS handles, threads, and live simulator plumbing.
+UNPICKLABLE_TYPES = frozenset({
+    "Callable", "Generator", "Iterator", "IO", "TextIO", "BinaryIO",
+    "Thread", "Lock", "RLock", "Condition", "Event",
+    "Simulator", "Network", "SimProcess", "EventQueue", "Connection",
+})
+
+#: typing-vocabulary identifiers that never name a project class.
+_TYPING_NOISE = frozenset({
+    "Optional", "Tuple", "List", "Dict", "Set", "FrozenSet", "Any", "Union",
+    "Sequence", "Mapping", "Iterable", "typing", "str", "int", "float",
+    "bool", "bytes", "None", "object",
+})
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _annotation_names(annotation: str) -> List[str]:
+    return [name for name in _IDENT.findall(annotation)
+            if name not in _TYPING_NOISE]
+
+
+def barrier_closure(project) -> List:
+    """ClassInfos for roots + subclasses + annotation-reachable classes."""
+    reached: Dict[str, bool] = {}
+    frontier: List[str] = [name for name in BARRIER_ROOTS
+                           if name in project.classes]
+    while frontier:
+        name = frontier.pop()
+        if name in reached:
+            continue
+        reached[name] = True
+        for info in project.classes[name]:
+            # classes named inside field annotations
+            for _fname, annotation, _default in info.fields:
+                for ref in _annotation_names(annotation):
+                    if ref in project.classes and ref not in reached:
+                        frontier.append(ref)
+        # subclasses of anything already reached
+        for other_name, infos in project.classes.items():
+            if other_name not in reached and \
+                    any(name in other.bases for other in infos):
+                frontier.append(other_name)
+    return [info for name in sorted(reached)
+            for info in project.classes[name]]
+
+
+def _class_finding(rule_id: str, info, line: int, message: str,
+                   sink: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=info.module.relpath, line=line, col=0,
+        message=message,
+        function=info.name,
+        scope=info.module.scope,
+        provenance=(
+            ProvenanceStep("source", info.node.lineno, 0,
+                           f"barrier closure member {info.qualname}"),
+            ProvenanceStep("sink", line, 0, sink),
+        ),
+    )
+
+
+@register
+class ReduceCoverageRule(Rule):
+    rule_id = "PKL001"
+    title = "barrier-class __reduce__ does not cover the dataclass fields"
+    description = """\
+    Over the barrier-crossing class closure (Command / WindowBlock /
+    WindowResult roots, subclasses, annotation-reachable classes), verifies
+    hand-written __reduce__ methods reconstruct the same class from all
+    dataclass fields in declaration order — the static promotion of the
+    runtime reduce-coverage guard."""
+
+    #: Closure from the most recent check_project run (qualnames).
+    last_closure: Tuple[str, ...] = ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        closure = barrier_closure(project)
+        self.last_closure = tuple(sorted(info.qualname for info in closure))
+        for info in closure:
+            if not info.has_reduce:
+                continue  # default (dataclass) pickling covers all fields
+            reduce_def = next(stmt for stmt in info.node.body
+                              if isinstance(stmt, ast.FunctionDef)
+                              and stmt.name == "__reduce__")
+            covered = _parse_reduce_fields(reduce_def, info.name)
+            if covered is None:
+                yield _class_finding(
+                    self.rule_id, info, reduce_def.lineno,
+                    message=(f"{info.name}.__reduce__ is not the canonical "
+                             "'return (Cls, (self.f, ...))' shape; the "
+                             "reduce-coverage contract cannot be verified "
+                             "statically"),
+                    sink=f"def __reduce__ in {info.qualname}")
+                continue
+            expected = [fname for fname, _a, _d in info.fields]
+            if list(covered) == expected:
+                continue
+            missing = [f for f in expected if f not in covered]
+            extra = [f for f in covered if f not in expected]
+            detail = []
+            if missing:
+                detail.append(f"missing fields {missing}")
+            if extra:
+                detail.append(f"unknown fields {extra}")
+            if not detail:
+                detail.append(f"field order {list(covered)} != declaration "
+                              f"order {expected}")
+            yield _class_finding(
+                self.rule_id, info, reduce_def.lineno,
+                message=(f"{info.name}.__reduce__ does not round-trip the "
+                         f"dataclass: {'; '.join(detail)} — state would be "
+                         "silently dropped or shuffled on the wire"),
+                sink=f"def __reduce__ in {info.qualname}")
+
+
+@register
+class UnpicklableMemberRule(Rule):
+    rule_id = "PKL002"
+    title = "unpicklable member on a barrier-crossing class"
+    description = """\
+    Flags barrier-closure fields typed as known-unpicklable runtime objects
+    (Callable, Thread, Lock, Simulator, Network, ...), lambda defaults, and
+    nested class definitions.  These poison the pickle only on the first
+    window that actually carries one — fail at lint time instead."""
+
+    def check_project(self, project) -> Iterable[Finding]:
+        for info in barrier_closure(project):
+            if info.nested:
+                yield _class_finding(
+                    self.rule_id, info, info.node.lineno,
+                    message=(f"{info.name} is a nested class crossing "
+                             "barrier windows; pickle resolves it by "
+                             "qualname, which breaks under refactors — "
+                             "move it to module level"),
+                    sink=f"class {info.name}")
+            for fname, annotation, default in info.fields:
+                bad = [name for name in _annotation_names(annotation)
+                       if name in UNPICKLABLE_TYPES]
+                if bad:
+                    yield _class_finding(
+                        self.rule_id, info, info.node.lineno,
+                        message=(f"{info.name}.{fname} is typed "
+                                 f"{annotation!r} ({', '.join(bad)} is not "
+                                 "picklable); barrier payloads must carry "
+                                 "plain data"),
+                        sink=f"{fname}: {annotation}")
+                if isinstance(default, ast.Lambda):
+                    yield _class_finding(
+                        self.rule_id, info, default.lineno,
+                        message=(f"{info.name}.{fname} defaults to a "
+                                 "lambda; lambdas cannot be pickled — use "
+                                 "a named function or default_factory"),
+                        sink=f"{fname} default")
+
+
+@register
+class UnstablePickleBytesRule(Rule):
+    rule_id = "PKL003"
+    title = "set-typed barrier field pickles in arbitrary order"
+    description = """\
+    Flags set-typed fields on barrier-closure classes lacking
+    __reduce__/__getstate__: pickle serializes set iteration order, so
+    equal objects yield unequal bytes and byte-level dedup/fingerprints of
+    the stream go flaky.  Canonicalize (sorted tuple) in __getstate__."""
+
+    def check_project(self, project) -> Iterable[Finding]:
+        for info in barrier_closure(project):
+            if info.has_reduce or info.has_getstate:
+                continue  # a custom protocol can canonicalize on the way out
+            for fname, annotation, _default in info.fields:
+                if _SET_ANNOTATION.match(annotation.strip("'\"")):
+                    yield _class_finding(
+                        self.rule_id, info, info.node.lineno,
+                        message=(f"{info.name}.{fname} is set-typed and the "
+                                 "class has no __reduce__/__getstate__: "
+                                 "pickle serializes set iteration order, so "
+                                 "equal objects yield unequal bytes — "
+                                 "canonicalize (sorted tuple) in "
+                                 "__getstate__"),
+                        sink=f"{fname}: {annotation}")
+
+
+def _parse_reduce_fields(reduce_def: ast.FunctionDef,
+                         class_name: str) -> Optional[Tuple[str, ...]]:
+    """Field names of a canonical ``return (Cls, (self.f, ...))`` reduce.
+
+    Returns None when the method body doesn't match the canonical shape
+    (multiple returns, computed tuples, wrong reconstructor, ...).
+    """
+    returns = [stmt for stmt in ast.walk(reduce_def)
+               if isinstance(stmt, ast.Return)]
+    if len(returns) != 1 or returns[0].value is None:
+        return None
+    value = returns[0].value
+    if not (isinstance(value, ast.Tuple) and len(value.elts) == 2):
+        return None
+    ctor, args = value.elts
+    if not (isinstance(ctor, ast.Name) and ctor.id == class_name):
+        return None
+    if not isinstance(args, ast.Tuple):
+        return None
+    fields: List[str] = []
+    for elt in args.elts:
+        if not (isinstance(elt, ast.Attribute) and
+                isinstance(elt.value, ast.Name) and elt.value.id == "self"):
+            return None
+        fields.append(elt.attr)
+    return tuple(fields)

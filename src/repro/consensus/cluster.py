@@ -4,6 +4,10 @@ This module glues one committee's replicas, a network, and client drivers
 together, and is the workhorse behind the consensus experiments (Figures 2,
 8, 9, 10, 15, 16, 17, 19, 20).
 
+Determinism note: detlint-verified clean — every fan-out path here is
+list-based (member rosters, commit subscribers) and set state is
+membership-only; the seed-sweep differential suite pins the fingerprints.
+
 Committees are *reconfigurable*: the epoch lifecycle of the sharded system
 moves members between committees at epoch boundaries through
 :meth:`ConsensusCluster.remove_member` (graceful leave: queued sends flush

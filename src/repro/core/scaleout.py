@@ -885,16 +885,19 @@ class ScaleOutShardedBlockchain(ShardedBlockchain):
         while now < until:
             end = min(now + delta, until)
             commands, self._cmd_buffer = self._cmd_buffer, []
+            # detlint: disable=DET001 -- coordinator_work_share wall-time split: measures host cost only, never feeds simulated time or the event stream
             started = perf_counter()
             result = self.executor.run_window(WindowBlock(
                 until=end, epoch=self.epochs.current_epoch,
                 commands=tuple(sorted(commands, key=inbound_sort_key))))
+            # detlint: disable=DET001 -- coordinator_work_share wall-time split: measures host cost only, never feeds simulated time or the event stream
             mid = perf_counter()
             self._window_seconds += mid - started
             self._cmd_buffer.extend(result.routed)
             self._deliver_outputs(list(result.outputs))
             self.sim.run_batched(until=end)
             self.sim.advance_clock(end)
+            # detlint: disable=DET001 -- coordinator_work_share wall-time split: measures host cost only, never feeds simulated time or the event stream
             self._parent_seconds += perf_counter() - mid
             now = end
 

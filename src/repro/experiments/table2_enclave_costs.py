@@ -19,9 +19,11 @@ from repro.tee.randomness_beacon import RandomnessBeaconEnclave
 
 
 def _time_operation(operation, repetitions: int = 200) -> float:
+    # detlint: disable=DET001 -- Table 2 reproduces measured enclave microbenchmark latencies; wall time IS the quantity under study
     start = time.perf_counter()
     for _ in range(repetitions):
         operation()
+    # detlint: disable=DET001 -- Table 2 reproduces measured enclave microbenchmark latencies; wall time IS the quantity under study
     return (time.perf_counter() - start) / repetitions * 1e6
 
 

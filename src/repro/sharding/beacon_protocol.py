@@ -5,6 +5,9 @@ With probability ``2^-l`` the enclave returns a signed certificate
 ``<e, rnd>``, which the node broadcasts.  After the synchrony bound ``Delta``
 every node locks in the smallest ``rnd`` it received.  If nobody obtained a
 certificate, the epoch number is incremented and the protocol repeats.
+(Determinism note: detlint-verified clean — peer fan-out iterates the
+network's sorted ``node_ids`` and lock-in picks via ``min``, both
+canonical orders.)
 
 The protocol's cost is what Figure 11 (right) measures: communication is
 ``O(2^-l * N^2)`` and the expected number of rounds is ``1 / (1 - P_repeat)``

@@ -248,7 +248,14 @@ class Network:
         scheduled event (fired in recipient order), which collapses an
         O(committee) broadcast into a handful of scheduler operations on
         jitter-free latency models.
+
+        Set-typed ``dst_ids`` are canonicalized to sorted order first: the
+        per-recipient rng draws (drop, latency jitter) consume the stream in
+        visit order, so arbitrary set order would make the same seed produce
+        different delivery schedules.
         """
+        if isinstance(dst_ids, (set, frozenset)):
+            dst_ids = sorted(dst_ids)
         cohorts: Dict[float, list] = {}
         unknown: Optional[int] = None
         for dst in dst_ids:

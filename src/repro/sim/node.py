@@ -68,12 +68,16 @@ class SimProcess:
         self._cpu_free_at = 0.0
         self._queue_depth: Dict[str, int] = {}
         #: Request messages admitted to the queue but not yet processed,
-        #: keyed by message object identity.  Only populated when
+        #: keyed by network message id.  Only populated when
         #: ``track_requests`` is enabled (nodes that may gracefully leave a
         #: committee mid-run hand these off instead of stranding them); the
         #: default path pays a single predictable branch per message.
         self.track_requests = False
         self._inbound_requests: Dict[int, Any] = {}
+        #: Key source for locally-injected messages that never crossed the
+        #: network (msg_id still -1): a per-node negative counter.  Network
+        #: ids are >= 0, so the two ranges cannot collide.
+        self._local_request_key = -2
         network.register(self, region=region)
 
     # ----------------------------------------------------------------- queues
@@ -101,16 +105,27 @@ class SimProcess:
             )
             return
         self._queue_depth[key] = self._queue_depth.get(key, 0) + 1
+        req_key: Optional[int] = None
         if self.track_requests and message.channel == REQUEST_CHANNEL:
-            self._inbound_requests[id(message)] = message.payload
+            # Key by the deterministic network msg_id, not id(message): heap
+            # addresses differ between runs and processes.  The key is
+            # captured here and threaded through to the pop, so a message
+            # object re-sent (and re-stamped) mid-flight still clears its
+            # original entry.
+            if message.msg_id < 0:
+                message.msg_id = self._local_request_key
+                self._local_request_key -= 1
+            req_key = message.msg_id
+            self._inbound_requests[req_key] = message.payload
         cost = self.message_cost(message)
-        self.cpu_execute(cost, self._process_message, message, key)
+        self.cpu_execute(cost, self._process_message, message, key, req_key)
 
-    def _process_message(self, message: Message, key: str) -> None:
+    def _process_message(self, message: Message, key: str,
+                         req_key: Optional[int] = None) -> None:
         self._queue_depth[key] = self._queue_depth.get(key, 1) - 1
         self.stats.messages_processed += 1
-        if self.track_requests:
-            self._inbound_requests.pop(id(message), None)
+        if req_key is not None:
+            self._inbound_requests.pop(req_key, None)
         if not self.crashed:
             self.handle_message(message)
 

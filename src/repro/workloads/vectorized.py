@@ -55,6 +55,7 @@ def bulk_uniforms(rng: random.Random, count: int) -> Union[List[float], "np.ndar
         return [rng.random() for _ in range(count)]
     version, internal, gauss_next = rng.getstate()
     key, pos = internal[:624], internal[624]
+    # detlint: disable=DET002 -- constructor state is discarded: set_state() transplants the seeded caller rng's Mersenne Twister state on the next line
     state = np.random.RandomState()
     state.set_state(("MT19937", np.asarray(key, dtype=np.uint32), int(pos)))
     draws = state.random_sample(count)

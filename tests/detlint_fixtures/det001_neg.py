@@ -1,0 +1,9 @@
+"""DET001 negative fixture: simulated time only."""
+
+
+def stamp_event(sim, queue):
+    queue.append(sim.now)
+
+
+def elapsed(sim, start):
+    return sim.now - start

@@ -1,0 +1,13 @@
+"""DET001 positive fixture: wall-clock reads in protocol-style code."""
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(queue):
+    now = time.time()
+    queue.append((now, datetime.now()))
+
+
+def window_cost():
+    return perf_counter()

@@ -1,0 +1,16 @@
+"""DET002 negative fixture: every stream explicitly seeded."""
+import random
+
+import numpy as np
+
+
+def make_stream(seed: int):
+    return random.Random(seed)
+
+
+def make_np_stream(seed: int):
+    return np.random.default_rng(seed)
+
+
+def draw(rng: random.Random):
+    return rng.random()

@@ -1,0 +1,26 @@
+"""DET002 positive fixture: global-state and entropy randomness."""
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def draw():
+    return random.random()
+
+
+def make_stream():
+    return random.Random()
+
+
+def make_np_stream():
+    return np.random.default_rng()
+
+
+def sample_global():
+    return np.random.shuffle([1, 2, 3])
+
+
+def token():
+    return uuid.uuid4(), os.urandom(8)

@@ -1,0 +1,20 @@
+"""DET003 negative fixture: canonicalized or order-insensitive set use."""
+from typing import Set
+
+
+class Router:
+    peers: Set[int]
+
+    def __init__(self, network):
+        self.network = network
+        self.peers = set()
+
+    def flood(self, message):
+        self.network.broadcast(0, sorted(self.peers), message)
+
+    def fanout(self, message):
+        for peer in sorted(self.peers):
+            self.network.send(0, peer, message)
+
+    def census(self):
+        return sum(1 for peer in self.peers if peer >= 0)

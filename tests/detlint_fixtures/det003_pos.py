@@ -1,0 +1,21 @@
+"""DET003 positive fixture: set order escaping into fan-out sinks."""
+from typing import Set
+
+
+class Router:
+    peers: Set[int]
+
+    def __init__(self, network):
+        self.network = network
+        self.peers = set()
+
+    def flood(self, message):
+        self.network.broadcast(0, self.peers, message)
+
+    def fanout(self, message):
+        for peer in self.peers:
+            self.network.send(0, peer, message)
+
+    def fanout_frozen(self, message):
+        for peer in list(self.peers):
+            self.network.send(0, peer, message)

@@ -1,0 +1,17 @@
+"""DET004 negative fixture: exempt hash()/id() shapes."""
+
+
+class TxKey:
+    def __init__(self, tx_id: str):
+        self.tx_id = tx_id
+
+    def __hash__(self):
+        return hash(self.tx_id)
+
+
+def leader_for(key: str, committee_size: int) -> int:
+    return int(key, 16) % committee_size
+
+
+def debug_probe(message):
+    id(message)

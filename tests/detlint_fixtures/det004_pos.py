@@ -1,0 +1,9 @@
+"""DET004 positive fixture: hash()/id() values consumed by protocol state."""
+
+
+def leader_for(key: str, committee_size: int) -> int:
+    return hash(key) % committee_size
+
+
+def register(table, message):
+    table[id(message)] = message

@@ -1,0 +1,21 @@
+"""DET005 negative fixture: canonical picks and pinned popitem order."""
+from collections import OrderedDict
+from typing import Set
+
+
+def pick_leader(candidates: Set[int]) -> int:
+    return min(candidates)
+
+
+def steal_one(ready: Set[str]) -> str:
+    first = sorted(ready)[0]
+    ready.discard(first)
+    return first
+
+
+def drain_fifo(table: OrderedDict):
+    return table.popitem(last=False)
+
+
+def next_untyped(rows):
+    return next(iter(rows))

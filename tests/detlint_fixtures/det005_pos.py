@@ -1,0 +1,14 @@
+"""DET005 positive fixture: order-dependent element extraction."""
+from typing import Set
+
+
+def pick_leader(candidates: Set[int]) -> int:
+    return next(iter(candidates))
+
+
+def steal_one(ready: Set[str]) -> str:
+    return ready.pop()
+
+
+def drain_one(table):
+    return table.popitem()

@@ -1,0 +1,18 @@
+"""PKL001 negative fixture: canonical full-coverage __reduce__."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Command:
+    due: float
+    dest: int
+    op: str
+
+    def __reduce__(self):
+        return (Command, (self.due, self.dest, self.op))
+
+
+@dataclass
+class WindowBlock:
+    until: float
+    epoch: int

@@ -1,0 +1,21 @@
+"""PKL001 positive fixture: __reduce__ drops and reorders fields."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Command:
+    due: float
+    dest: int
+    op: str
+
+    def __reduce__(self):
+        return (Command, (self.due, self.dest))
+
+
+@dataclass
+class WindowBlock:
+    until: float
+    epoch: int
+
+    def __reduce__(self):
+        return (WindowBlock, (self.epoch, self.until))

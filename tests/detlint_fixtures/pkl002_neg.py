@@ -1,0 +1,16 @@
+"""PKL002 negative fixture: plain-data barrier classes."""
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class WindowBlock:
+    until: float
+    epoch: int
+    commands: Tuple[str, ...] = ()
+
+
+@dataclass
+class Command:
+    due: float
+    reason: Optional[str] = None

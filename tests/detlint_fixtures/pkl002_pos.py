@@ -1,0 +1,18 @@
+"""PKL002 positive fixture: unpicklable members on barrier classes."""
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class WindowBlock:
+    until: float
+    callback: Callable[[], None]
+    on_error: Any = lambda: None
+
+
+class Host:
+    @dataclass
+    class Command:
+        due: float
+        lock: Optional[Lock] = None

@@ -1,0 +1,16 @@
+"""PKL003 negative fixture: __getstate__ canonicalizes the set field."""
+from dataclasses import dataclass, field
+from typing import Set
+
+
+@dataclass
+class WindowResult:
+    outputs: tuple
+    seen: Set[str] = field(default_factory=set)
+
+    def __getstate__(self):
+        return (self.outputs, tuple(sorted(self.seen)))
+
+    def __setstate__(self, state):
+        self.outputs, seen = state
+        self.seen = set(seen)

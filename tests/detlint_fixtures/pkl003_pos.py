@@ -1,0 +1,9 @@
+"""PKL003 positive fixture: set-typed field pickled without a protocol."""
+from dataclasses import dataclass, field
+from typing import Set
+
+
+@dataclass
+class WindowResult:
+    outputs: tuple
+    seen: Set[str] = field(default_factory=set)
