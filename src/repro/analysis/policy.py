@@ -3,7 +3,17 @@
 Different parts of the tree carry different determinism obligations:
 
 * **strict** — the protocol/simulation packages whose event streams feed the
-  bit-identical workers=1 ≡ workers=N contract.  Every rule applies.
+  bit-identical workers=1 ≡ workers=N contract.  Every rule applies.  The
+  runtime seam (``src/repro/runtime/``) is strict too: ``SimRuntime`` and the
+  ``Runtime`` protocol are part of the deterministic substrate.
+* **service** — the wall-clock side of the runtime seam:
+  ``src/repro/service/`` (asyncio gateway, shard node processes, socket
+  transport) and ``src/repro/runtime/wallclock.py``.  These modules exist to
+  run the protocol stack on a real clock, so DET001 does not apply — but
+  every *other* determinism rule (unseeded RNG, set-order escapes,
+  ``hash()``/``id()``) still does: the service must stay seed-reproducible in
+  everything but timing, or the sim-vs-service differential oracle loses its
+  teeth.
 * **experiments** — reproduction scripts under ``src/repro/experiments``:
   wall-clock timing (DET001) is a legitimate measurement tool there, so the
   rule is off by default — but a ``--strict`` run re-enables it, and the
@@ -85,7 +95,8 @@ class Policy:
         return True
 
 
-_STRICT_DIRS = ("sim", "consensus", "core", "txn", "sharding", "ledger", "tee")
+_STRICT_DIRS = ("sim", "consensus", "core", "txn", "sharding", "ledger", "tee",
+                "runtime")
 
 _DEFAULT_SCOPE = Scope(name="default", patterns=("*",), disabled=_WALL_CLOCK)
 
@@ -93,6 +104,11 @@ DEFAULT_POLICY = Policy(scopes=(
     Scope(name="ignore",
           patterns=("*detlint_fixtures/*", "*__pycache__/*", "*/.git/*"),
           skip=True),
+    # Before "strict": wallclock.py lives inside the otherwise-strict
+    # runtime package, and first-match-wins is what carves it out.
+    Scope(name="service",
+          patterns=("src/repro/service/*", "src/repro/runtime/wallclock*"),
+          disabled=_WALL_CLOCK),
     Scope(name="strict",
           patterns=tuple(f"src/repro/{pkg}/*" for pkg in _STRICT_DIRS)),
     Scope(name="experiments",

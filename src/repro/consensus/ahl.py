@@ -49,7 +49,7 @@ class AhlReplica(ConsensusReplica):
                          monitor, region, shard_id, byzantine)
         self.attested_log = AttestedAppendOnlyLog(
             enclave_id=f"a2m-{node_id}",
-            time_source=lambda: self.sim.now,
+            time_source=lambda: self.runtime.now,
         )
 
     def _attest(self, log_name: str, position: int, body: Any) -> Optional[LogAttestation]:

@@ -22,6 +22,7 @@ from repro.ledger.transaction import Transaction, TransactionReceipt
 from repro.sim.monitor import Monitor
 from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
 from repro.sim.node import SimProcess
+from repro.runtime.base import Runtime
 from repro.sim.simulator import Simulator
 from repro.consensus import messages as m
 
@@ -204,7 +205,7 @@ class ConsensusReplica(SimProcess):
 
     PROTOCOL_NAME = "base"
 
-    def __init__(self, node_id: int, sim: Simulator, network: Network,
+    def __init__(self, node_id: int, sim: "Simulator | Runtime", network: Network,
                  committee: Sequence[int], config: ConsensusConfig,
                  registry: Optional[ChaincodeRegistry] = None,
                  monitor: Optional[Monitor] = None,
@@ -388,7 +389,7 @@ class ConsensusReplica(SimProcess):
         self.next_seq = max(self.next_seq, source.next_seq)
         self.stable_checkpoint = source.stable_checkpoint
         self._gc_horizon = source.last_executed
-        self._last_block_time = self.sim.now
+        self._last_block_time = self.runtime.now
         committed = BoundedIdSet(self.config.dedup_window)
         committed.update(source.committed_tx_ids)
         committed.trim()
@@ -447,7 +448,7 @@ class ConsensusReplica(SimProcess):
             # within the timeout (e.g. a silent Byzantine leader), ask for a
             # view change.
             self._progress_check_pending = True
-            self.sim.schedule(
+            self.runtime.schedule(
                 self.config.view_change_timeout, self._progress_check,
                 self.last_executed, self.view,
             )
@@ -472,7 +473,7 @@ class ConsensusReplica(SimProcess):
                     kind=m.KIND_FORWARD,
                     payload=m.ClientRequest(
                         client_id=f"replica-{self.node_id}", request_id=0,
-                        transactions=tuple(stalled), submitted_at=self.sim.now,
+                        transactions=tuple(stalled), submitted_at=self.runtime.now,
                     ),
                     size_bytes=self.config.transaction_bytes * len(stalled),
                     channel=REQUEST_CHANNEL,
@@ -630,10 +631,10 @@ class ConsensusReplica(SimProcess):
                 return
             if self.config.min_block_interval > 0:
                 earliest = self._last_block_time + self.config.min_block_interval
-                if self.sim.now < earliest:
+                if self.runtime.now < earliest:
                     if not self._interval_retry_pending:
                         self._interval_retry_pending = True
-                        self.sim.schedule_at(earliest, self._interval_retry)
+                        self.runtime.schedule_at(earliest, self._interval_retry)
                     return
             batch: List[Transaction] = []
             while self.pending_txs and len(batch) < self.config.batch_size:
@@ -670,7 +671,7 @@ class ConsensusReplica(SimProcess):
             transactions=tuple(batch),
             proposer=self.node_id,
             view=self.view,
-            timestamp=self.sim.now,
+            timestamp=self.runtime.now,
             shard_id=self.shard_id,
         )
         self.blocks_proposed += 1
@@ -680,7 +681,7 @@ class ConsensusReplica(SimProcess):
         instance.pre_prepared = True
         instance.prepares.add(self.node_id)
         instance.commits.add(self.node_id)
-        instance.proposed_at = self.sim.now
+        instance.proposed_at = self.runtime.now
         self._start_timer(instance)
         attestation = self._attest("pre-prepare", seq, block.header.merkle_root)
         payload = m.PrePrepare(
@@ -690,7 +691,7 @@ class ConsensusReplica(SimProcess):
         size = self.config.consensus_message_bytes + self.config.transaction_bytes * len(batch)
         sign_cost = (self._signing_cost() + self.config.costs.sha256 * len(batch)
                      + self.config.proposal_overhead)
-        self._last_block_time = self.sim.now
+        self._last_block_time = self.runtime.now
         self.cpu_execute(sign_cost, self._broadcast_consensus, m.KIND_PRE_PREPARE, payload, size)
         self.monitor.counter(f"blocks_proposed.shard{self.shard_id}").increment()
 
@@ -728,7 +729,7 @@ class ConsensusReplica(SimProcess):
     def _start_timer(self, instance: _Instance) -> None:
         if instance.timer is not None:
             return
-        instance.timer = self.sim.schedule(
+        instance.timer = self.runtime.schedule(
             self.config.view_change_timeout, self._on_instance_timeout, instance.seq, self.view
         )
 
@@ -999,8 +1000,8 @@ class ConsensusReplica(SimProcess):
                 shard_id=self.shard_id,
             )
             self.blockchain.append(chained, verify_merkle=False)
-        receipts = self.engine.execute_block(chained, now=self.sim.now)
-        now = self.sim.now
+        receipts = self.engine.execute_block(chained, now=self.runtime.now)
+        now = self.runtime.now
         self._last_block_time = now
         latency = now - instance.proposed_at if instance.proposed_at else 0.0
         self.monitor.series(f"commit_latency.replica{self.node_id}").record(now, latency)
@@ -1113,7 +1114,7 @@ class ConsensusReplica(SimProcess):
         self._check_view_change(new_view)
         # Escalate if this view change does not complete either (PBFT's
         # exponential back-off is approximated by a fixed re-check interval).
-        self.sim.schedule(self.config.view_change_timeout, self._escalate_view_change, new_view)
+        self.runtime.schedule(self.config.view_change_timeout, self._escalate_view_change, new_view)
 
     def _escalate_view_change(self, requested_view: int) -> None:
         if self.crashed or self.view >= requested_view:
@@ -1175,7 +1176,7 @@ class ConsensusReplica(SimProcess):
         instance.pre_prepared = True
         instance.prepares = {self.node_id}
         instance.commits = {self.node_id}
-        instance.proposed_at = self.sim.now
+        instance.proposed_at = self.runtime.now
         self.next_seq = max(self.next_seq, instance.seq + 1)
         for tx in instance.block.transactions:
             self.in_flight_tx_ids.add(tx.tx_id)

@@ -44,6 +44,7 @@ from repro.ledger.state import StateStore
 from repro.ledger.transaction import Transaction
 from repro.sim.latency import LanLatencyModel, LatencyModel, assign_regions_round_robin
 from repro.sim.monitor import Monitor, mean_or_zero
+from repro.runtime.base import Runtime, as_runtime
 from repro.sim.network import Message, Network, REQUEST_CHANNEL
 from repro.sim.node import SimProcess
 from repro.sim.simulator import Simulator
@@ -102,7 +103,7 @@ def default_tx_factory(client_id: str, now: float, rng, count: int) -> List[Tran
 class OpenLoopClient(SimProcess):
     """A BLOCKBENCH-style open-loop client: submits at a fixed rate regardless of completion."""
 
-    def __init__(self, node_id: int, sim: Simulator, network: Network,
+    def __init__(self, node_id: int, sim: "Simulator | Runtime", network: Network,
                  targets: Sequence[int], rate_tps: float, batch_size: int = 10,
                  tx_factory: Optional[Callable] = None, region: str = "local",
                  stop_at: Optional[float] = None) -> None:
@@ -116,22 +117,22 @@ class OpenLoopClient(SimProcess):
         self.stop_at = stop_at
         self.requests_sent = 0
         self.transactions_sent = 0
-        self._rng = sim.fork_rng(f"client-{node_id}")
+        self._rng = self.runtime.fork_rng(f"client-{node_id}")
         self._request_counter = itertools.count()
 
     def start(self) -> None:
-        self.sim.schedule(0.0, self._tick)
+        self.runtime.spawn(self._tick)
 
     def _tick(self) -> None:
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
+        if self.stop_at is not None and self.runtime.now >= self.stop_at:
             return
-        transactions = self.tx_factory(f"client-{self.node_id}", self.sim.now,
+        transactions = self.tx_factory(f"client-{self.node_id}", self.runtime.now,
                                        self._rng, self.batch_size)
         request = ClientRequest(
             client_id=f"client-{self.node_id}",
             request_id=next(self._request_counter),
             transactions=tuple(transactions),
-            submitted_at=self.sim.now,
+            submitted_at=self.runtime.now,
         )
         target = self.targets[self._rng.randrange(len(self.targets))]
         message = Message(
@@ -142,7 +143,7 @@ class OpenLoopClient(SimProcess):
         self.requests_sent += 1
         self.transactions_sent += len(transactions)
         interval = self.batch_size / self.rate_tps
-        self.sim.schedule(interval, self._tick)
+        self.runtime.schedule(interval, self._tick)
 
     def handle_message(self, message: Message) -> None:
         """Open-loop clients ignore replies."""
@@ -156,7 +157,7 @@ class ClosedLoopClient(SimProcess):
     the blocks, as the paper's modified driver does).
     """
 
-    def __init__(self, node_id: int, sim: Simulator, network: Network,
+    def __init__(self, node_id: int, sim: "Simulator | Runtime", network: Network,
                  targets: Sequence[int], outstanding: int = 128, batch_size: int = 1,
                  tx_factory: Optional[Callable] = None, region: str = "local") -> None:
         super().__init__(node_id, sim, network, region=region)
@@ -167,11 +168,11 @@ class ClosedLoopClient(SimProcess):
         self.transactions_sent = 0
         self.transactions_completed = 0
         self._in_flight: set[str] = set()
-        self._rng = sim.fork_rng(f"client-{node_id}")
+        self._rng = self.runtime.fork_rng(f"client-{node_id}")
         self._request_counter = itertools.count()
 
     def start(self) -> None:
-        self.sim.schedule(0.0, self._fill)
+        self.runtime.spawn(self._fill)
 
     def attach_observer(self, replica: ConsensusReplica) -> None:
         replica.on_commit(self._on_commit)
@@ -181,7 +182,7 @@ class ClosedLoopClient(SimProcess):
             self._send_batch()
 
     def _send_batch(self) -> None:
-        transactions = self.tx_factory(f"client-{self.node_id}", self.sim.now,
+        transactions = self.tx_factory(f"client-{self.node_id}", self.runtime.now,
                                        self._rng, self.batch_size)
         for tx in transactions:
             self._in_flight.add(tx.tx_id)
@@ -189,7 +190,7 @@ class ClosedLoopClient(SimProcess):
             client_id=f"client-{self.node_id}",
             request_id=next(self._request_counter),
             transactions=tuple(transactions),
-            submitted_at=self.sim.now,
+            submitted_at=self.runtime.now,
         )
         target = self.targets[self._rng.randrange(len(self.targets))]
         message = Message(sender=self.node_id, kind=KIND_REQUEST, payload=request,
@@ -244,7 +245,8 @@ class ConsensusCluster:
                  shard_id: int = 0,
                  sim: Optional[Simulator] = None,
                  network: Optional[Network] = None,
-                 max_series_samples: Optional[int] = None) -> None:
+                 max_series_samples: Optional[int] = None,
+                 runtime: Optional[Runtime] = None) -> None:
         if protocol not in PROTOCOLS:
             raise ConfigurationError(
                 f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
@@ -254,8 +256,14 @@ class ConsensusCluster:
         replica_cls, config_factory = PROTOCOLS[protocol]
         self.protocol = protocol
         self.n = n
-        self.sim = sim or Simulator(seed=seed)
-        self.network = network or Network(self.sim, latency_model or LanLatencyModel())
+        # The scheduling substrate: an explicit runtime (wall-clock service
+        # mode), or the given/fresh simulator wrapped in its SimRuntime.
+        # ``self.sim`` stays the underlying Simulator (None under a real
+        # clock) because harnesses and tests drive it directly.
+        self.runtime = as_runtime(runtime) if runtime is not None \
+            else as_runtime(sim or Simulator(seed=seed))
+        self.sim = self.runtime.simulator
+        self.network = network or Network(self.runtime, latency_model or LanLatencyModel())
         # ``max_series_samples`` bounds every per-commit metric series
         # (streaming count/sum + reservoir percentiles) for long runs.
         self.monitor = Monitor(max_samples=max_series_samples)
@@ -277,7 +285,7 @@ class ConsensusCluster:
         self.replicas: List[ConsensusReplica] = []
         for node_id in node_ids:
             replica = replica_cls(
-                node_id=node_id, sim=self.sim, network=self.network,
+                node_id=node_id, sim=self.runtime, network=self.network,
                 committee=node_ids, config=self.config,
                 registry=self._registry_factory(), monitor=self.monitor,
                 region=region_map[node_id], shard_id=shard_id, byzantine=byzantine,
@@ -493,7 +501,7 @@ class ConsensusCluster:
             self.submit(orphaned)
         for member in self.replicas:
             if not member.crashed and member.is_leader:
-                self.sim.schedule(0.0, member._maybe_propose)
+                self.runtime.spawn(member._maybe_propose)
                 break
         return replica
 
@@ -528,7 +536,7 @@ class ConsensusCluster:
         region = self._regions[slot % len(self._regions)] if self._regions else "local"
         committee_ids = self.committee + [node_id]
         replica = self._replica_cls(
-            node_id=node_id, sim=self.sim, network=self.network,
+            node_id=node_id, sim=self.runtime, network=self.network,
             committee=committee_ids, config=self.config,
             registry=self._registry_factory(), monitor=self.monitor,
             region=region, shard_id=self.shard_id, byzantine=self.byzantine,
@@ -572,7 +580,7 @@ class ConsensusCluster:
             for transactions in parked:
                 self.submit(transactions)
         if replica.is_leader:
-            self.sim.schedule(0.0, replica._maybe_propose)
+            self.runtime.spawn(replica._maybe_propose)
 
     # ---------------------------------------------------------------- clients
     def add_open_loop_clients(self, count: int, rate_tps: float, batch_size: int = 10,
@@ -581,7 +589,7 @@ class ConsensusCluster:
         clients = []
         for _ in range(count):
             client = OpenLoopClient(
-                node_id=next(self._client_id_counter), sim=self.sim, network=self.network,
+                node_id=next(self._client_id_counter), sim=self.runtime, network=self.network,
                 targets=self.committee, rate_tps=rate_tps, batch_size=batch_size,
                 tx_factory=tx_factory, region=self._client_region,
             )
@@ -598,7 +606,7 @@ class ConsensusCluster:
         clients = []
         for _ in range(count):
             client = ClosedLoopClient(
-                node_id=next(self._client_id_counter), sim=self.sim, network=self.network,
+                node_id=next(self._client_id_counter), sim=self.runtime, network=self.network,
                 targets=self.committee, outstanding=outstanding, batch_size=batch_size,
                 tx_factory=tx_factory, region=self._client_region,
             )
@@ -636,7 +644,7 @@ class ConsensusCluster:
             target = active[attempt % len(active)]
         request = ClientRequest(
             client_id="direct", request_id=next(self._client_id_counter),
-            transactions=tuple(transactions), submitted_at=self.sim.now,
+            transactions=tuple(transactions), submitted_at=self.runtime.now,
         )
         message = Message(sender=-1, kind=KIND_REQUEST, payload=request,
                           size_bytes=512 * max(1, len(transactions)),
@@ -649,8 +657,11 @@ class ConsensusCluster:
         """Run the simulation for ``duration`` seconds and summarise the outcome.
 
         Uses the batched drain loop, which executes the identical event order
-        as the one-at-a-time loop with less scheduler overhead.
+        as the one-at-a-time loop with less scheduler overhead.  Sim-only:
+        under a wall-clock runtime the asyncio loop drives time itself.
         """
+        if self.sim is None:
+            raise ConfigurationError("run() needs the simulated runtime")
         self.sim.run_batched(until=self.sim.now + duration, max_events=max_events)
         return self.result(duration)
 

@@ -80,6 +80,6 @@ class IbftReplica(RotatingLeaderReplica):
             for tx in batch:
                 self.pending_txs.append(tx)
             self.monitor.counter(f"ibft_stalls.shard{self.shard_id}").increment()
-            self.sim.schedule(self.config.view_change_timeout, self._maybe_propose)
+            self.runtime.schedule(self.config.view_change_timeout, self._maybe_propose)
             return
         super()._propose_block(batch)

@@ -102,7 +102,7 @@ class PoetNode(SimProcess):
             enclave_id=f"poet-{node_id}",
             mean_wait=config.wait_scale,
             q_bits=config.q_bits,
-            time_source=lambda: self.sim.now,
+            time_source=lambda: self.runtime.now,
         )
         self.chain = ForkableChain(shard_id=0)
         self.blocks_proposed = 0
@@ -124,7 +124,7 @@ class PoetNode(SimProcess):
         if self.config.q_bits > 0 and certificate_q != 0:
             # PoET+: this node is filtered out for this height.
             return
-        self.sim.schedule(wait_time, self._wake, height)
+        self.runtime.schedule(wait_time, self._wake, height)
 
     def _wake(self, height: int) -> None:
         if self.crashed:
@@ -142,7 +142,7 @@ class PoetNode(SimProcess):
             prev_hash=tip.block_hash,
             transactions=(),
             proposer=self.node_id,
-            timestamp=self.sim.now,
+            timestamp=self.runtime.now,
         )
         self.blocks_proposed += 1
         self.chain.add_block(block)
@@ -156,7 +156,7 @@ class PoetNode(SimProcess):
         delay = self.config.propagation_delay()
         for peer in self.network.node_ids:
             if peer != self.node_id:
-                self.sim.schedule(delay, self._deliver_to_peer, peer, message)
+                self.runtime.schedule(delay, self._deliver_to_peer, peer, message)
         self._begin_round(block.height + 1)
 
     def _deliver_to_peer(self, peer: int, message: Message) -> None:

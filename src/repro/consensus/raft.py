@@ -60,7 +60,7 @@ class RaftReplica(ConsensusReplica):
         from repro.ledger.block import build_block
         block = build_block(
             height=seq, prev_hash="pending", transactions=tuple(batch),
-            proposer=self.node_id, view=self.view, timestamp=self.sim.now,
+            proposer=self.node_id, view=self.view, timestamp=self.runtime.now,
             shard_id=self.shard_id,
         )
         self.blocks_proposed += 1
@@ -69,7 +69,7 @@ class RaftReplica(ConsensusReplica):
         instance.block_digest = block.header.merkle_root
         instance.pre_prepared = True
         instance.prepared = True
-        instance.proposed_at = self.sim.now
+        instance.proposed_at = self.runtime.now
         self._acks[seq] = {self.node_id}
         payload = m.AppendEntries(term=self.view, index=seq, block=block, leader=self.node_id)
         size = self.config.consensus_message_bytes + self.config.transaction_bytes * len(batch)

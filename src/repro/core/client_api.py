@@ -15,18 +15,32 @@ from typing import List, Optional
 
 from repro.core.system import ShardedBlockchain
 from repro.errors import ConfigurationError
+from repro.sim.monitor import TimeSeries
 from repro.txn.coordinator import DistributedTxOutcome, DistributedTxRecord
 from repro.workloads.generator import WorkloadGenerator
+
+#: Reservoir size for per-client latency samples.  A closed-loop client in a
+#: long service run completes millions of transactions; keeping every latency
+#: in a plain list grows without bound, so the stats hold a bounded
+#: :class:`~repro.sim.monitor.TimeSeries` instead (exact count/mean, reservoir
+#: percentiles).
+CLIENT_LATENCY_SAMPLES = 1024
 
 
 @dataclass
 class ClientStats:
-    """Per-client statistics."""
+    """Per-client statistics (bounded memory regardless of run length)."""
 
     submitted: int = 0
     committed: int = 0
     aborted: int = 0
-    latencies: List[float] = field(default_factory=list)
+    latency: TimeSeries = field(default_factory=lambda: TimeSeries(
+        "client_latency", max_samples=CLIENT_LATENCY_SAMPLES))
+
+    @property
+    def latencies(self) -> List[float]:
+        """Retained latency samples (a bounded reservoir, not the full list)."""
+        return self.latency.values()
 
     @property
     def abort_rate(self) -> float:
@@ -64,7 +78,7 @@ class ShardedClient:
 
     def start(self) -> None:
         """Fill the window with the first ``outstanding`` transactions."""
-        self.system.sim.schedule(0.0, self._fill)
+        self.system.runtime.spawn(self._fill)
 
     def _fill(self) -> None:
         while self._in_flight < self.outstanding:
@@ -74,7 +88,7 @@ class ShardedClient:
             self._submit_one()
 
     def _submit_one(self) -> None:
-        tx = self.workload.next_transaction(client_id=self.client_id, now=self.system.sim.now)
+        tx = self.workload.next_transaction(client_id=self.client_id, now=self.system.runtime.now)
         self.stats.submitted += 1
         self._in_flight += 1
         self.system.submit_transaction(tx, on_complete=self._on_complete)
@@ -86,7 +100,7 @@ class ShardedClient:
         else:
             self.stats.aborted += 1
         if record.latency is not None:
-            self.stats.latencies.append(record.latency)
+            self.stats.latency.record(self.system.runtime.now, record.latency)
         self._fill()
 
 

@@ -227,7 +227,7 @@ class OpenLoopDriver:
             if self._delegated:
                 self._index = self.system.register_partition_driver(self._spec())
             else:
-                self.system.sim.schedule(0.0, self._tick)
+                self.system.runtime.spawn(self._tick)
         return self
 
     def _tick(self) -> None:
@@ -237,7 +237,7 @@ class OpenLoopDriver:
         if remaining is not None and remaining <= 0:
             return
         count = self.batch_size if remaining is None else min(self.batch_size, remaining)
-        now = self.system.sim.now
+        now = self.system.runtime.now
         for _ in range(count):
             if (self.max_in_flight is not None
                     and stats.in_flight >= self.max_in_flight):
@@ -249,7 +249,7 @@ class OpenLoopDriver:
             if stats.in_flight > stats.max_in_flight:
                 stats.max_in_flight = stats.in_flight
             self.system.submit_transaction(tx, on_complete=self._on_complete)
-        self.system.sim.schedule(self.batch_size / self.rate_tps, self._tick)
+        self.system.runtime.schedule(self.batch_size / self.rate_tps, self._tick)
 
     def _on_complete(self, record: DistributedTxRecord) -> None:
         stats = self._stats

@@ -132,6 +132,7 @@ from repro.sharding.reconfiguration import (
 from repro.sim.latency import LanLatencyModel
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network
+from repro.runtime.base import as_runtime
 from repro.sim.simulator import Simulator
 from repro.txn.coordinator import (
     DistributedTxOutcome,
@@ -265,7 +266,7 @@ class _LockAdmission:
             return "waiting"
         ns_keys = [self._nskey(shard_id, key) for key in prepare_tx.keys]
         self._keys.setdefault(tx_id, {})[shard_id] = ns_keys
-        now = self.system.sim.now
+        now = self.system.runtime.now
         priority = self._priority(record)
         outstanding: Set[str] = set()
         wounded: List[str] = []
@@ -288,7 +289,7 @@ class _LockAdmission:
             record=record, shard_id=shard_id, prepare_tx=prepare_tx,
             keys_outstanding=outstanding, extra_delay=extra_delay,
         )
-        self.system.sim.schedule(self.system.config.wait_timeout,
+        self.system.runtime.schedule(self.system.config.wait_timeout,
                                  self._check_timeout, tx_id, shard_id)
         return "waiting"
 
@@ -346,7 +347,11 @@ class ShardedBlockchain:
                 "system via repro.core.build_system(config)")
         self.config = config
         self.sim = Simulator(seed=config.seed)
-        self.network = Network(self.sim, config.latency_model or LanLatencyModel())
+        #: All protocol-side scheduling (2PC deadlines, relays, epoch timers)
+        #: goes through the runtime seam; ``self.sim`` remains the concrete
+        #: simulator for harness-only draining (``advance``/``pending_activity``).
+        self.runtime = as_runtime(self.sim)
+        self.network = Network(self.runtime, config.latency_model or LanLatencyModel())
         self.monitor = Monitor(max_samples=config.max_series_samples)
         self.coordinator = TwoPhaseCommitCoordinator(
             config.use_reference_committee, retain_records=config.retain_tx_records,
@@ -404,7 +409,7 @@ class ShardedBlockchain:
             # first boundary is event-for-event identical to the seed path.
             for cluster in self.shards.values():
                 cluster.enable_request_tracking()
-            self.sim.schedule(config.epoch_duration, self._epoch_tick)
+            self.runtime.schedule(config.epoch_duration, self._epoch_tick)
 
     # ---------------------------------------------------------------- set-up
     def _bind_fault_scenario(self):
@@ -568,7 +573,7 @@ class ShardedBlockchain:
                            on_complete: Optional[Callable[[DistributedTxRecord], None]] = None) -> DistributedTxRecord:
         """Submit a benchmark transaction; the system routes and coordinates it."""
         shards = self.shards_for_transaction(tx)
-        record = self.coordinator.begin(tx, shards, now=self.sim.now)
+        record = self.coordinator.begin(tx, shards, now=self.runtime.now)
         if on_complete is not None:
             self._completion_callbacks[tx.tx_id] = on_complete
         if not record.is_cross_shard:
@@ -580,7 +585,7 @@ class ShardedBlockchain:
         if self.config.use_reference_committee:
             self._submit_begin_tx(record)
         else:
-            self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
+            self.coordinator.mark_begin_executed(tx.tx_id, now=self.runtime.now)
             self._send_prepares(record)
         return record
 
@@ -588,20 +593,20 @@ class ShardedBlockchain:
     def _submit_single_shard(self, record: DistributedTxRecord) -> None:
         shard_id = record.shards[0]
         tx = record.transaction
-        self.coordinator.mark_begin_executed(tx.tx_id, now=self.sim.now)
+        self.coordinator.mark_begin_executed(tx.tx_id, now=self.runtime.now)
 
         def on_receipt(receipt: TransactionReceipt) -> None:
             ok = receipt.status is TxStatus.COMMITTED
-            self.coordinator.record_prepare_vote(tx.tx_id, shard_id, ok, now=self.sim.now,
+            self.coordinator.record_prepare_vote(tx.tx_id, shard_id, ok, now=self.runtime.now,
                                                  reason=receipt.error)
-            self.coordinator.record_commit_ack(tx.tx_id, shard_id, now=self.sim.now)
+            self.coordinator.record_commit_ack(tx.tx_id, shard_id, now=self.runtime.now)
             if record.phase is DistributedTxPhase.DONE:
                 self._finish(record)
 
         self._watch(tx, on_receipt)
         self._relay_shard_single(shard_id, tx)
         if self.config.prepare_timeout is not None:
-            self.sim.schedule(self.config.prepare_timeout,
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_single_shard_deadline, tx.tx_id)
 
     def _check_single_shard_deadline(self, tx_id: str) -> None:
@@ -618,18 +623,18 @@ class ShardedBlockchain:
         if (record is None or record.outcome is not DistributedTxOutcome.PENDING
                 or record.phase is DistributedTxPhase.DONE or record.prepare_votes):
             return
-        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
-            delay = (record.prepare_deadline - self.sim.now
+        if record.prepare_deadline is None or record.prepare_deadline > self.runtime.now:
+            delay = (record.prepare_deadline - self.runtime.now
                      if record.prepare_deadline is not None
                      else self.config.prepare_timeout)
-            self.sim.schedule(max(delay, 1e-9), self._check_single_shard_deadline, tx_id)
+            self.runtime.schedule(max(delay, 1e-9), self._check_single_shard_deadline, tx_id)
             return
         shard_id = record.shards[0]
         self.coordinator.mark_redriven(record)
-        record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+        record.prepare_deadline = self.runtime.now + self.config.prepare_timeout
         self._relay_shard_single(shard_id, record.transaction,
                                  attempt=record.redrives)
-        self.sim.schedule(self.config.prepare_timeout,
+        self.runtime.schedule(self.config.prepare_timeout,
                           self._check_single_shard_deadline, tx_id)
 
     # --------------------------------------------------------- cross shard tx
@@ -644,7 +649,7 @@ class ShardedBlockchain:
         )
 
         def on_receipt(receipt: TransactionReceipt) -> None:
-            self.coordinator.mark_begin_executed(record.tx_id, now=self.sim.now)
+            self.coordinator.mark_begin_executed(record.tx_id, now=self.runtime.now)
             self._send_prepares(record)
 
         self._watch(begin, on_receipt)
@@ -681,7 +686,7 @@ class ShardedBlockchain:
         for extra_delay in sorted(cohorts):
             self._relay_prepare_group(record, cohorts[extra_delay], extra_delay)
         if self.config.prepare_timeout is not None:
-            self.sim.schedule(self.config.prepare_timeout,
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_prepare_deadline, record.tx_id)
 
     def _relay_shard_single(self, shard_id: int, tx: Transaction,
@@ -709,10 +714,10 @@ class ShardedBlockchain:
             def submit_group(batch=tuple(group)) -> None:
                 for shard_id, tx in batch:
                     self.shards[shard_id].submit([tx], attempt=attempt)
-            self.sim.schedule(self.config.relay_delay + extra_delay, submit_group)
+            self.runtime.schedule(self.config.relay_delay + extra_delay, submit_group)
         else:
             for shard_id, tx in group:
-                self.sim.schedule(self.config.relay_delay + extra_delay,
+                self.runtime.schedule(self.config.relay_delay + extra_delay,
                                   lambda sid=shard_id, stx=tx:
                                   self.shards[sid].submit([stx], attempt=attempt))
 
@@ -753,11 +758,11 @@ class ShardedBlockchain:
     def _record_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
                      reason: Optional[str]) -> None:
         self.coordinator.record_prepare_vote(record.tx_id, shard_id, ok,
-                                             now=self.sim.now, reason=reason)
+                                             now=self.runtime.now, reason=reason)
         if self._fault is not None:
             duplicates = self._fault.duplicate_votes(record, shard_id, ok)
             for index in range(duplicates):
-                self.sim.schedule(
+                self.runtime.schedule(
                     self._fault.stale_delay() * (index + 1),
                     self._replay_vote, record.tx_id, shard_id, ok, reason)
 
@@ -767,7 +772,7 @@ class ShardedBlockchain:
         if self.coordinator.retain_records and tx_id not in self.coordinator.records:
             return
         self.coordinator.record_prepare_vote(tx_id, shard_id, ok,
-                                             now=self.sim.now, reason=reason)
+                                             now=self.runtime.now, reason=reason)
 
     def _submit_vote(self, record: DistributedTxRecord, shard_id: int, ok: bool,
                      reason: Optional[str]) -> None:
@@ -831,18 +836,18 @@ class ShardedBlockchain:
             # a rotated member.  Honest runs never lose decisions, so the
             # timer is not armed there and the default event flow is
             # untouched.
-            self.sim.schedule(self.config.prepare_timeout,
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_decision_deadline, record.tx_id)
 
     def _make_decision_watcher(self, record: DistributedTxRecord, shard_id: int):
         def on_receipt(receipt: TransactionReceipt) -> None:
-            self.coordinator.record_commit_ack(record.tx_id, shard_id, now=self.sim.now)
+            self.coordinator.record_commit_ack(record.tx_id, shard_id, now=self.runtime.now)
             if self.admission is not None:
                 self.admission.release_shard(record.tx_id, shard_id)
             if self._fault is not None:
                 duplicates = self._fault.duplicate_acks(record, shard_id)
                 for index in range(duplicates):
-                    self.sim.schedule(self._fault.stale_delay() * (index + 1),
+                    self.runtime.schedule(self._fault.stale_delay() * (index + 1),
                                       self._replay_ack, record.tx_id, shard_id)
             if record.all_acks_in:
                 self._finish(record)
@@ -852,7 +857,7 @@ class ShardedBlockchain:
         """A stale duplicate commit ack arrives (a counted no-op)."""
         if self.coordinator.retain_records and tx_id not in self.coordinator.records:
             return
-        self.coordinator.record_commit_ack(tx_id, shard_id, now=self.sim.now)
+        self.coordinator.record_commit_ack(tx_id, shard_id, now=self.runtime.now)
 
     # ------------------------------------------------- re-drives and recovery
     def _check_decision_deadline(self, tx_id: str) -> None:
@@ -870,7 +875,7 @@ class ShardedBlockchain:
             return
         if self.coordinator.crashed:
             # Recovery re-drives unsent decisions; check again afterwards.
-            self.sim.schedule(self.config.prepare_timeout,
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_decision_deadline, tx_id)
             return
         missing = [shard for shard in record.shards
@@ -887,14 +892,14 @@ class ShardedBlockchain:
             return
         if self.coordinator.crashed:
             # Recovery will re-drive; check again afterwards.
-            self.sim.schedule(self.config.prepare_timeout,
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_prepare_deadline, tx_id)
             return
-        if record.prepare_deadline is None or record.prepare_deadline > self.sim.now:
-            delay = (record.prepare_deadline - self.sim.now
+        if record.prepare_deadline is None or record.prepare_deadline > self.runtime.now:
+            delay = (record.prepare_deadline - self.runtime.now
                      if record.prepare_deadline is not None
                      else self.config.prepare_timeout)
-            self.sim.schedule(max(delay, 1e-9), self._check_prepare_deadline, tx_id)
+            self.runtime.schedule(max(delay, 1e-9), self._check_prepare_deadline, tx_id)
             return
         missing = [shard for shard in record.shards
                    if shard not in record.prepare_votes]
@@ -904,11 +909,11 @@ class ShardedBlockchain:
         to_redrive = [shard for shard in missing if shard not in waiting]
         if to_redrive:
             self.coordinator.mark_redriven(record)
-            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
+            record.prepare_deadline = self.runtime.now + self.config.prepare_timeout
             self._send_prepares(record, only_shards=to_redrive)
         else:
-            record.prepare_deadline = self.sim.now + self.config.prepare_timeout
-            self.sim.schedule(self.config.prepare_timeout,
+            record.prepare_deadline = self.runtime.now + self.config.prepare_timeout
+            self.runtime.schedule(self.config.prepare_timeout,
                               self._check_prepare_deadline, tx_id)
 
     def _wound(self, victim_tx_id: str) -> None:
@@ -932,13 +937,13 @@ class ShardedBlockchain:
             return  # one recovery is already scheduled
         self.coordinator.crash()
         delay = self._fault.recovery_delay() if self._fault is not None else 1.0
-        self.sim.schedule(delay, self._recover_coordinator)
+        self.runtime.schedule(delay, self._recover_coordinator)
 
     def _recover_coordinator(self) -> None:
         """Replay buffered votes/acks, then re-drive unfinished transactions."""
         if not self.coordinator.crashed:
             return
-        report = self.coordinator.recover(now=self.sim.now)
+        report = self.coordinator.recover(now=self.runtime.now)
         for record in report.completed:
             self._finish(record)
         for record in report.restart:
@@ -972,7 +977,7 @@ class ShardedBlockchain:
 
     def _relay(self, action: Callable[[], None]) -> None:
         """Submit after the configured client-relay delay."""
-        self.sim.schedule(self.config.relay_delay, action)
+        self.runtime.schedule(self.config.relay_delay, action)
 
     # ------------------------------------------------------------------- run
     def advance(self, until: float, max_events: Optional[int] = None) -> None:
@@ -998,7 +1003,7 @@ class ShardedBlockchain:
         observationally equivalent to the one-at-a-time loop but cheaper on
         message-heavy runs.
         """
-        self.advance(self.sim.now + duration, max_events=max_events)
+        self.advance(self.runtime.now + duration, max_events=max_events)
         return self.result(duration)
 
     def coordination_stats(self):
@@ -1154,15 +1159,15 @@ class ShardedBlockchain:
         """
         if strategy not in RECONFIGURATION_STRATEGIES:
             raise ConfigurationError(f"unknown reconfiguration strategy {strategy!r}")
-        if at_time < self.sim.now:
+        if at_time < self.runtime.now:
             raise ConfigurationError(
                 f"cannot reconfigure at {at_time!r}: it is in the past "
-                f"(simulated time is {self.sim.now!r})")
+                f"(simulated time is {self.runtime.now!r})")
         if batch_interval is None:
             batch_interval = self.config.swap_batch_interval
         for cluster in self.shards.values():
             cluster.enable_request_tracking()
-        self.sim.schedule_at(at_time, self._begin_transition_attempt, strategy,
+        self.runtime.schedule_at(at_time, self._begin_transition_attempt, strategy,
                              state_transfer_seconds, batch_size, batch_interval)
 
     def _begin_transition_attempt(self, strategy: str,
@@ -1171,7 +1176,7 @@ class ShardedBlockchain:
                                   batch_interval: float) -> None:
         """Start the requested transition, deferring while one is running."""
         if self._active_transition is not None:
-            self.sim.schedule(1.0, self._begin_transition_attempt, strategy,
+            self.runtime.schedule(1.0, self._begin_transition_attempt, strategy,
                               transfer_override, batch_size, batch_interval)
             return
         self._start_epoch_transition(strategy, transfer_override, batch_size,
@@ -1181,11 +1186,11 @@ class ShardedBlockchain:
         """The automatic epoch clock (scheduled only under ``auto_reconfigure``)."""
         if self._active_transition is not None:
             self.epoch_boundaries_skipped += 1
-        elif self.epochs.next_epoch_due(self.sim.now):
+        elif self.epochs.next_epoch_due(self.runtime.now):
             self._start_epoch_transition(self.config.reconfiguration_strategy,
                                          None, None,
                                          self.config.swap_batch_interval)
-        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+        self.runtime.schedule(self.config.epoch_duration, self._epoch_tick)
 
     def _start_epoch_transition(self, strategy: str,
                                 transfer_override: Optional[float],
@@ -1216,13 +1221,13 @@ class ShardedBlockchain:
                 "committee loses its quorum during the transition",
                 RuntimeWarning, stacklevel=2)
         stats = EpochTransitionStats(
-            epoch=epoch, strategy=strategy, started_at=self.sim.now,
+            epoch=epoch, strategy=strategy, started_at=self.runtime.now,
             randomness=beacon.rnd, beacon_rounds=beacon.rounds,
             beacon_seconds=beacon.elapsed_seconds,
             nodes_to_move=len(plan.transitioning_nodes), plan=plan,
         )
         self.epoch_transitions.append(stats)
-        self.epochs.start_epoch(new_assignment, now=self.sim.now)
+        self.epochs.start_epoch(new_assignment, now=self.runtime.now)
         self.assignment = new_assignment
         transition = _ActiveTransition(
             plan=plan, stats=stats, transfer_override=transfer_override,
@@ -1235,7 +1240,7 @@ class ShardedBlockchain:
             cluster.prepare_for_membership_change()
         # Randomness generation is part of the transition window: the first
         # swap batch starts once the beacon's rnd is locked in.
-        self.sim.schedule(beacon.elapsed_seconds, self._run_migration_step,
+        self.runtime.schedule(beacon.elapsed_seconds, self._run_migration_step,
                           transition, 0)
 
     def _run_migration_step(self, transition: _ActiveTransition, index: int) -> None:
@@ -1253,7 +1258,7 @@ class ShardedBlockchain:
         # so concurrent absences stay bounded by the batch size.
         delay = (max(transition.batch_interval, max_transfer)
                  if index + 1 < plan.num_steps else max_transfer)
-        self.sim.schedule(delay, self._run_migration_step, transition, index + 1)
+        self.runtime.schedule(delay, self._run_migration_step, transition, index + 1)
 
     def _migrate_node(self, transition: _ActiveTransition, logical: int) -> float:
         """One node leaves its old committee and joins its new one.
@@ -1278,7 +1283,7 @@ class ShardedBlockchain:
         source_cluster.remove_member(self._replica_of[logical])
         new_physical = dest_cluster.admit_member()
         self._replica_of[logical] = new_physical
-        self.sim.schedule(transfer, dest_cluster.activate_member, new_physical)
+        self.runtime.schedule(transfer, dest_cluster.activate_member, new_physical)
         return transfer
 
     @staticmethod
@@ -1305,8 +1310,8 @@ class ShardedBlockchain:
                 stats.min_active_margin[shard_id] = margin
 
     def _complete_transition(self, transition: _ActiveTransition) -> None:
-        self.epochs.complete_transition(self.sim.now)
-        transition.stats.completed_at = self.sim.now
+        self.epochs.complete_transition(self.runtime.now)
+        transition.stats.completed_at = self.runtime.now
         self.reconfigurations_completed += 1
         self._active_transition = None
         if self.analytics is not None:
@@ -1324,4 +1329,4 @@ class ShardedBlockchain:
                 commits.append((record.completed_at, 1.0))
         from repro.sim.monitor import TimeSeries
         series = TimeSeries.from_samples("commits", commits)
-        return series.bucketed_rate(bucket_seconds, until=self.sim.now)
+        return series.bucketed_rate(bucket_seconds, until=self.runtime.now)

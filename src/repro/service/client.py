@@ -1,0 +1,128 @@
+"""A small blocking HTTP client for the gateway, plus the replay driver.
+
+Tests, the differential oracle and ``bench_service`` talk to the gateway
+through this module — stdlib ``http.client`` only, one connection per
+request (the gateway answers ``Connection: close``).
+
+:func:`replay_through_gateway` is the service half of the differential
+oracle: it takes a :class:`~repro.workloads.generator.WorkloadReplay`
+(a recorded workload) and pushes every entry through ``POST /tx?wait=1``
+one at a time.  Serial submission makes the committed set and the final
+balances timing-independent — the same recorded invocations applied in the
+same order abort/commit on state alone — which is exactly what lets the
+wall-clock run be compared bit-for-bit against the simulated one.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServiceHTTPError(Exception):
+    """A non-2xx gateway answer, carrying the status and decoded body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Blocking JSON client for one gateway endpoint."""
+
+    def __init__(self, endpoint: str, timeout: float = 60.0) -> None:
+        endpoint = endpoint.rstrip("/")
+        if endpoint.startswith("http://"):
+            endpoint = endpoint[len("http://"):]
+        self.host, _, port = endpoint.partition(":")
+        self.port = int(port or 80)
+        self.timeout = timeout
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Tuple[int, Dict[str, Any]]:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode()) if raw else {}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------ endpoints
+    def submit(self, function: str, args: Dict[str, Any],
+               client_id: str = "client", wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        path = "/tx"
+        if wait:
+            path += f"?wait=1&timeout={timeout if timeout is not None else self.timeout}"
+        status, body = self.request("POST", path, {
+            "function": function, "args": args, "client_id": client_id})
+        if status not in (200, 202):
+            raise ServiceHTTPError(status, body)
+        return body
+
+    def tx_status(self, tx_id: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", f"/tx/{tx_id}")
+
+    def balance(self, key: str) -> Any:
+        status, body = self.request("GET", f"/balance/{key}")
+        if status != 200:
+            raise ServiceHTTPError(status, body)
+        return body["balance"]
+
+    def health(self) -> Dict[str, Any]:
+        status, body = self.request("GET", "/health")
+        if status != 200:
+            raise ServiceHTTPError(status, body)
+        return body
+
+    def wait_healthy(self, timeout: float = 60.0) -> Dict[str, Any]:
+        """Poll ``/health`` until every shard is up (boot barrier for tests)."""
+        deadline = time.monotonic() + timeout
+        last: Dict[str, Any] = {}
+        while time.monotonic() < deadline:
+            try:
+                last = self.health()
+                if last.get("status") == "ok":
+                    return last
+            except (ServiceHTTPError, OSError, ConnectionError):
+                pass
+            time.sleep(0.2)
+        raise TimeoutError(f"gateway never became healthy: {last}")
+
+
+def replay_through_gateway(client: ServiceClient, replay: Any,
+                           wait: bool = True,
+                           retry_overload: bool = True) -> List[Dict[str, Any]]:
+    """Push a recorded workload through the gateway, one entry at a time.
+
+    Returns one result dict per entry (the gateway's JSON answer).  A 429
+    (window full — only possible with ``wait=False``) is retried after the
+    advertised backoff rather than dropped, so the replayed history stays
+    complete.
+    """
+    results: List[Dict[str, Any]] = []
+    for entry in replay.entries:
+        while True:
+            try:
+                result = client.submit(entry["function"], entry["args"],
+                                       client_id=entry.get("client_id", "replay"),
+                                       wait=wait)
+                break
+            except ServiceHTTPError as exc:
+                if retry_overload and exc.status == 429:
+                    time.sleep(float(exc.body.get("retry_after", 1)) if
+                               isinstance(exc.body, dict) and
+                               "retry_after" in exc.body else 0.5)
+                    continue
+                raise
+        results.append(result)
+    return results

@@ -1,0 +1,56 @@
+"""Length-prefixed pickle frames over asyncio streams.
+
+The wire format is a 4-byte big-endian length followed by a pickle of the
+payload — the same envelope the scale-out engine uses for its barrier
+batches, here applied to live TCP connections between the gateway and the
+shard node processes.  Pickle (rather than JSON) because the payloads are
+the protocol's own dataclasses (``Message`` carrying ``Transaction`` /
+``TransactionReceipt`` objects), and the service trusts its peers: every
+endpoint of a frame connection is a process this deployment spawned on
+localhost.  The *external* client surface (the HTTP gateway) speaks JSON
+only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Optional
+
+#: Refuse frames above this size — a corrupted length prefix must not make
+#: the receiver try to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A malformed or oversized frame."""
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one frame; returns the unpickled payload, or None on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise FrameError("connection closed mid-frame") from exc
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return pickle.loads(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Pickle ``payload`` and write it as one frame (waits for the drain)."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    writer.write(_LEN.pack(len(body)) + body)
+    await writer.drain()

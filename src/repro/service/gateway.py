@@ -1,0 +1,651 @@
+"""The HTTP/JSON gateway: trusted 2PC over live shard processes.
+
+Two halves:
+
+* :class:`GatewayService` — the coordination plane.  It drives the *same*
+  :class:`~repro.txn.coordinator.TwoPhaseCommitCoordinator` and
+  :class:`~repro.core.splitters.TransactionSplitter` machinery that
+  ``ShardedBlockchain`` drives in sim mode (the trusted
+  ``use_reference_committee=False`` configuration of Figure 13): begin →
+  per-shard prepares → votes → commit/abort decisions → acks.  The only
+  difference is the transport — receipts arrive as ``svc-receipts`` frames
+  from shard processes instead of ``CommitEvent`` callbacks — and the
+  clock, which is the :class:`~repro.runtime.wallclock.AsyncioRuntime`.
+  The coordinator itself never notices: deadlines are data and ``now`` is a
+  parameter (see the runtime-neutrality note in ``txn/coordinator.py``).
+
+* :class:`GatewayHttp` — a deliberately small HTTP/1.1 front end (stdlib
+  only; the container has no aiohttp) exposing::
+
+      POST /tx            submit {"function", "args", "client_id"?}; ?wait=1 blocks
+      GET  /tx/{id}       coordinator record for a transaction
+      GET  /balance/{key} world-state read from the key's home shard
+      GET  /health        shard liveness, in-flight window, totals
+
+  Admission control is a bounded in-flight window: past ``max_inflight``
+  the gateway answers ``429`` with ``Retry-After`` instead of queueing
+  unboundedly.  A dead shard (EOF on its frame link) turns requests that
+  touch it into ``503`` — and aborts the undecided in-flight transactions
+  that were waiting on it, so nothing hangs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.splitters import splitter_for
+from repro.ledger.transaction import Transaction, TransactionReceipt, TxStatus
+from repro.runtime.wallclock import AsyncioRuntime
+from repro.service.shardnode import (
+    GATEWAY_NODE_ID, KIND_BALANCE_QUERY, KIND_BALANCE_REPLY, KIND_PING,
+    KIND_PONG, KIND_RECEIPTS, KIND_SUBMIT, shard_agent_id,
+)
+from repro.service.socketnet import SocketNetwork
+from repro.sim.network import Message, REQUEST_CHANNEL
+from repro.txn.coordinator import (
+    DistributedTxOutcome, DistributedTxPhase, DistributedTxRecord,
+    TwoPhaseCommitCoordinator,
+)
+from repro.workloads.generator import shard_of_key
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+#: How many times a lost prepare or decision is re-driven before the
+#: gateway gives up (aborts the prepare, force-acks the decision).
+MAX_REDRIVES = 3
+
+
+class GatewayError(Exception):
+    """Base for admission failures; carries the HTTP status to answer with."""
+
+    status = 500
+    retry_after: Optional[int] = None
+
+
+class Overloaded(GatewayError):
+    """The bounded in-flight window is full."""
+
+    status = 429
+    retry_after = 1
+
+
+class Draining(GatewayError):
+    """The gateway is shutting down and admits no new transactions."""
+
+    status = 503
+
+
+class ShardDown(GatewayError):
+    """The transaction touches a shard whose process is unreachable."""
+
+    status = 503
+
+
+class BadTransaction(GatewayError):
+    """The request body does not describe a valid chaincode invocation."""
+
+    status = 400
+
+
+class _GatewayAgent:
+    """The gateway's node in the SocketNetwork (receives shard frames)."""
+
+    def __init__(self, service: "GatewayService") -> None:
+        self.node_id = GATEWAY_NODE_ID
+        self.service = service
+
+    def deliver(self, message: Message) -> None:
+        if message.kind == KIND_RECEIPTS:
+            for receipt in message.payload["receipts"]:
+                self.service._on_receipt(receipt)
+        elif message.kind == KIND_BALANCE_REPLY:
+            self.service._on_balance_reply(message.payload)
+        elif message.kind == KIND_PONG:
+            self.service._on_pong(message.payload)
+
+
+class GatewayService:
+    """Trusted 2PC coordination over live shards, behind the runtime seam."""
+
+    def __init__(self, runtime: AsyncioRuntime, num_shards: int,
+                 benchmark: str = "smallbank", num_keys: int = 10_000,
+                 max_inflight: int = 256, prepare_timeout: float = 5.0,
+                 listen_host: str = "127.0.0.1") -> None:
+        self.runtime = runtime
+        self.num_shards = num_shards
+        self.benchmark = benchmark
+        self.num_keys = num_keys
+        self.max_inflight = max_inflight
+        self.prepare_timeout = prepare_timeout
+        self.network = SocketNetwork(runtime, listen_host=listen_host)
+        self.network.on_peer_down = self._on_peer_down
+        self.coordinator = TwoPhaseCommitCoordinator(
+            use_reference_committee=False, retain_records=True,
+            prepare_timeout=prepare_timeout)
+        self.splitter = splitter_for(benchmark)
+        if benchmark == "smallbank":
+            self.chaincode = SmallbankWorkload(num_accounts=num_keys).chaincode
+        else:
+            self.chaincode = KVStoreWorkload(num_keys=num_keys).chaincode
+        self._agent = _GatewayAgent(self)
+        self.network.register(self._agent)
+        self.draining = False
+        #: tx_id -> future resolved with the record at completion (None for
+        #: fire-and-forget submissions; the key set is the in-flight window).
+        self._inflight: Dict[str, Optional[asyncio.Future]] = {}
+        #: receipt watchers, keyed by the *wire* transaction's id (prepare /
+        #: decision / single-shard tx), plus the parent tx owning each watch
+        #: so a finished record's stale watchers can be reclaimed.
+        self._watchers: Dict[str, Callable[[TransactionReceipt], None]] = {}
+        self._watch_owner: Dict[str, str] = {}
+        self._record_watches: Dict[str, Set[str]] = {}
+        self._decisions_sent: Dict[str, Set[int]] = {}
+        self._down: Dict[int, str] = {}
+        self._pongs: Dict[int, Dict[str, Any]] = {}
+        self._balance_waiters: Dict[int, asyncio.Future] = {}
+        self._query_counter = itertools.count()
+        self._drained = asyncio.Event()
+
+    # ----------------------------------------------------------- lifecycle
+    async def start(self, port: int = 0) -> int:
+        """Start the frame listener; returns its bound port."""
+        return await self.network.start(port)
+
+    def add_shard(self, shard_id: int, host: str, port: int) -> None:
+        self.network.add_peer(shard_agent_id(shard_id), host, port)
+
+    async def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every shard has answered a ping (boot barrier)."""
+        deadline = self.runtime.now + timeout
+        while self.runtime.now < deadline:
+            self.ping_shards()
+            await asyncio.sleep(0.2)
+            if len(self._pongs) >= self.num_shards:
+                return
+        missing = [s for s in range(self.num_shards) if s not in self._pongs]
+        raise TimeoutError(f"shards {missing} never answered a ping")
+
+    async def drain(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Stop admitting, wait for in-flight work, report what happened."""
+        self.draining = True
+        if self._inflight:
+            try:
+                await asyncio.wait_for(self._drained.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        stats = self.coordinator.stats
+        return {
+            "submitted": stats.started,
+            "committed": stats.committed,
+            "aborted": stats.aborted,
+            "abandoned_in_flight": len(self._inflight),
+        }
+
+    async def close(self) -> None:
+        await self.network.close()
+
+    # ------------------------------------------------------------- health
+    def ping_shards(self) -> None:
+        for shard_id in range(self.num_shards):
+            if shard_id not in self._down:
+                self._send_frame(shard_id, KIND_PING, {"ping_id": shard_id})
+
+    def _on_pong(self, payload: Dict[str, Any]) -> None:
+        self._pongs[payload["shard_id"]] = payload
+
+    def shard_state(self, shard_id: int) -> str:
+        if shard_id in self._down:
+            return "down"
+        return "up" if shard_id in self._pongs else "starting"
+
+    def health(self) -> Dict[str, Any]:
+        shards = {str(s): self.shard_state(s) for s in range(self.num_shards)}
+        if self.draining:
+            status = "draining"
+        elif any(state != "up" for state in shards.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        stats = self.coordinator.stats
+        return {
+            "status": status,
+            "shards": shards,
+            "in_flight": len(self._inflight),
+            "max_inflight": self.max_inflight,
+            "submitted": stats.started,
+            "committed": stats.committed,
+            "aborted": stats.aborted,
+        }
+
+    # ---------------------------------------------------------- submission
+    def shard_of(self, key: str) -> int:
+        return shard_of_key(key, self.num_shards)
+
+    def build_transaction(self, function: str, args: Dict[str, Any],
+                          client_id: str = "http") -> Transaction:
+        try:
+            return self.chaincode.new_transaction(
+                function, dict(args), client_id=client_id,
+                submitted_at=self.runtime.now)
+        except Exception as exc:
+            raise BadTransaction(f"invalid invocation: {exc}") from exc
+
+    def shards_for(self, tx: Transaction) -> List[int]:
+        try:
+            return self.splitter.shards_touched(tx, self.shard_of)
+        except Exception:
+            shards = {self.shard_of(key) for key in tx.keys}
+            return sorted(shards) if shards else [0]
+
+    def submit_transaction(self, tx: Transaction,
+                           wait: bool = False) -> Tuple[DistributedTxRecord,
+                                                        Optional[asyncio.Future]]:
+        """Admit and coordinate one transaction; mirrors sim trusted mode."""
+        if self.draining:
+            raise Draining("gateway is draining")
+        if len(self._inflight) >= self.max_inflight:
+            raise Overloaded(f"{len(self._inflight)} transactions in flight")
+        shards = self.shards_for(tx)
+        dead = [shard for shard in shards if shard in self._down]
+        if dead:
+            raise ShardDown(f"shard {dead[0]} is down: {self._down[dead[0]]}")
+        record = self.coordinator.begin(tx, shards, now=self.runtime.now)
+        future = self.runtime.loop.create_future() if wait else None
+        self._inflight[tx.tx_id] = future
+        if record.is_cross_shard:
+            self.coordinator.mark_begin_executed(tx.tx_id, now=self.runtime.now)
+            self._send_prepares(record)
+        else:
+            self._submit_single_shard(record)
+        return record, future
+
+    # ------------------------------------------------------- single shard tx
+    def _submit_single_shard(self, record: DistributedTxRecord) -> None:
+        shard_id = record.shards[0]
+        tx = record.transaction
+        self.coordinator.mark_begin_executed(tx.tx_id, now=self.runtime.now)
+
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            self.coordinator.record_prepare_vote(
+                tx.tx_id, shard_id, ok, now=self.runtime.now, reason=receipt.error)
+            self.coordinator.record_commit_ack(tx.tx_id, shard_id, now=self.runtime.now)
+            if record.phase is DistributedTxPhase.DONE:
+                self._finish(record)
+
+        self._watch(record, tx.tx_id, on_receipt)
+        self._send_transactions(shard_id, [tx])
+        self.runtime.schedule(self.prepare_timeout,
+                              self._check_single_deadline, tx.tx_id)
+
+    def _check_single_deadline(self, tx_id: str) -> None:
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE or record.prepare_votes):
+            return
+        shard_id = record.shards[0]
+        if shard_id in self._down:
+            return  # _on_peer_down already aborted it
+        if record.redrives >= MAX_REDRIVES:
+            self.coordinator.record_prepare_vote(
+                tx_id, shard_id, False, now=self.runtime.now,
+                reason="prepare timeout")
+            self.coordinator.record_commit_ack(tx_id, shard_id, now=self.runtime.now)
+            if record.phase is DistributedTxPhase.DONE:
+                self._finish(record)
+            return
+        self.coordinator.mark_redriven(record)
+        record.prepare_deadline = self.runtime.now + self.prepare_timeout
+        self._send_transactions(shard_id, [record.transaction])
+        self.runtime.schedule(self.prepare_timeout, self._check_single_deadline, tx_id)
+
+    # -------------------------------------------------------- cross shard tx
+    def _send_prepares(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        prepares = self.splitter.prepare_transactions(record.transaction, self.shard_of)
+        if only_shards is not None:
+            prepares = {shard: tx for shard, tx in prepares.items()
+                        if shard in only_shards}
+        for prep_shard, prepare_tx in prepares.items():
+            self._watch(record, prepare_tx.tx_id,
+                        self._make_prepare_watcher(record, prep_shard))
+            self._send_transactions(prep_shard, [prepare_tx])
+        self.runtime.schedule(self.prepare_timeout,
+                              self._check_prepare_deadline, record.tx_id)
+
+    def _make_prepare_watcher(self, record: DistributedTxRecord, shard_id: int):
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            ok = receipt.status is TxStatus.COMMITTED
+            self._handle_prepare_outcome(record, shard_id, ok, receipt.error)
+        return on_receipt
+
+    def _handle_prepare_outcome(self, record: DistributedTxRecord, shard_id: int,
+                                ok: bool, reason: Optional[str]) -> None:
+        before = record.outcome
+        self.coordinator.record_prepare_vote(
+            record.tx_id, shard_id, ok, now=self.runtime.now, reason=reason)
+        if (record.outcome is not DistributedTxOutcome.PENDING
+                and before is DistributedTxOutcome.PENDING):
+            self._send_decision(record)
+
+    def _check_prepare_deadline(self, tx_id: str) -> None:
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.outcome is not DistributedTxOutcome.PENDING
+                or record.phase is DistributedTxPhase.DONE):
+            return
+        if record.prepare_deadline is None or record.prepare_deadline > self.runtime.now:
+            delay = (record.prepare_deadline - self.runtime.now
+                     if record.prepare_deadline is not None else self.prepare_timeout)
+            self.runtime.schedule(max(delay, 1e-3),
+                                  self._check_prepare_deadline, tx_id)
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.prepare_votes and shard not in self._down]
+        if not missing:
+            return  # peer-down handling owns the down shards' votes
+        if record.redrives >= MAX_REDRIVES:
+            before = record.outcome
+            for shard in missing:
+                self.coordinator.record_prepare_vote(
+                    tx_id, shard, False, now=self.runtime.now,
+                    reason="prepare timeout")
+            if (record.outcome is not DistributedTxOutcome.PENDING
+                    and before is DistributedTxOutcome.PENDING):
+                self._send_decision(record)
+            return
+        self.coordinator.mark_redriven(record)
+        record.prepare_deadline = self.runtime.now + self.prepare_timeout
+        self._send_prepares(record, only_shards=missing)
+
+    def _send_decision(self, record: DistributedTxRecord,
+                       only_shards: Optional[List[int]] = None) -> None:
+        committed = record.outcome is DistributedTxOutcome.COMMITTED
+        if committed:
+            per_shard = self.splitter.commit_transactions(record.transaction, self.shard_of)
+        else:
+            per_shard = self.splitter.abort_transactions(record.transaction, self.shard_of)
+        if only_shards is not None:
+            per_shard = {shard: tx for shard, tx in per_shard.items()
+                         if shard in only_shards}
+        sent = self._decisions_sent.setdefault(record.tx_id, set())
+        for dec_shard, decision_tx in per_shard.items():
+            if dec_shard in self._down:
+                # Unreachable: count the ack as forced, exactly what
+                # _on_peer_down does for decisions already in flight.
+                self.coordinator.record_commit_ack(record.tx_id, dec_shard,
+                                                   now=self.runtime.now)
+                continue
+            sent.add(dec_shard)
+            self._watch(record, decision_tx.tx_id,
+                        self._make_decision_watcher(record, dec_shard))
+            self._send_transactions(dec_shard, [decision_tx])
+        if record.all_acks_in and record.phase is DistributedTxPhase.DONE:
+            self._finish(record)
+            return
+        self.runtime.schedule(self.prepare_timeout,
+                              self._check_decision_deadline, record.tx_id)
+
+    def _make_decision_watcher(self, record: DistributedTxRecord, shard_id: int):
+        def on_receipt(receipt: TransactionReceipt) -> None:
+            self.coordinator.record_commit_ack(record.tx_id, shard_id,
+                                               now=self.runtime.now)
+            if record.all_acks_in:
+                self._finish(record)
+        return on_receipt
+
+    def _check_decision_deadline(self, tx_id: str) -> None:
+        record = self.coordinator.records.get(tx_id)
+        if (record is None or record.phase is DistributedTxPhase.DONE
+                or record.outcome is DistributedTxOutcome.PENDING):
+            return
+        missing = [shard for shard in record.shards
+                   if shard not in record.commit_acks]
+        live = [shard for shard in missing if shard not in self._down]
+        if not live or record.redrives >= MAX_REDRIVES:
+            # Decision delivery is idempotent shard-side; past the re-drive
+            # budget (or with only dead shards missing) the acks are forced
+            # so the client's future resolves rather than hangs.
+            for shard in missing:
+                self.coordinator.record_commit_ack(tx_id, shard, now=self.runtime.now)
+            if record.phase is DistributedTxPhase.DONE:
+                self._finish(record)
+            return
+        self.coordinator.mark_redriven(record)
+        self._send_decision(record, only_shards=live)
+
+    # ----------------------------------------------------------- completion
+    def _watch(self, record: DistributedTxRecord, wire_tx_id: str,
+               callback: Callable[[TransactionReceipt], None]) -> None:
+        self._watchers[wire_tx_id] = callback
+        self._watch_owner[wire_tx_id] = record.tx_id
+        self._record_watches.setdefault(record.tx_id, set()).add(wire_tx_id)
+
+    def _on_receipt(self, receipt: TransactionReceipt) -> None:
+        watcher = self._watchers.pop(receipt.tx_id, None)
+        if watcher is None:
+            return
+        parent = self._watch_owner.pop(receipt.tx_id, None)
+        if parent is not None:
+            watches = self._record_watches.get(parent)
+            if watches is not None:
+                watches.discard(receipt.tx_id)
+        watcher(receipt)
+
+    def _finish(self, record: DistributedTxRecord) -> None:
+        for wire_tx_id in self._record_watches.pop(record.tx_id, ()):
+            self._watchers.pop(wire_tx_id, None)
+            self._watch_owner.pop(wire_tx_id, None)
+        self._decisions_sent.pop(record.tx_id, None)
+        future = self._inflight.pop(record.tx_id, None)
+        if future is not None and not future.done():
+            future.set_result(record)
+        if self.draining and not self._inflight:
+            self._drained.set()
+
+    # ------------------------------------------------------------ transport
+    def _send_transactions(self, shard_id: int, transactions: List[Transaction]) -> None:
+        self._send_frame(shard_id, KIND_SUBMIT, tuple(transactions),
+                         size_bytes=512 * len(transactions))
+
+    def _send_frame(self, shard_id: int, kind: str, payload: Any,
+                    size_bytes: int = 512) -> None:
+        message = Message(sender=GATEWAY_NODE_ID, kind=kind, payload=payload,
+                          size_bytes=size_bytes, channel=REQUEST_CHANNEL)
+        self.network.send(GATEWAY_NODE_ID, shard_agent_id(shard_id), message)
+
+    # ------------------------------------------------------------ peer death
+    def _on_peer_down(self, node_ids: List[int], exc: Exception) -> None:
+        shards = sorted(node_id - shard_agent_id(0) for node_id in node_ids
+                        if shard_agent_id(0) <= node_id < GATEWAY_NODE_ID)
+        for shard in shards:
+            self._down.setdefault(shard, str(exc) or type(exc).__name__)
+        for record in list(self.coordinator.records.values()):
+            if record.phase is DistributedTxPhase.DONE:
+                continue
+            if not any(shard in record.shards for shard in shards):
+                continue
+            if record.outcome is DistributedTxOutcome.PENDING:
+                before = record.outcome
+                for shard in shards:
+                    if shard in record.shards and shard not in record.prepare_votes:
+                        self.coordinator.record_prepare_vote(
+                            record.tx_id, shard, False, now=self.runtime.now,
+                            reason=f"shard {shard} down")
+                if (record.outcome is not DistributedTxOutcome.PENDING
+                        and before is DistributedTxOutcome.PENDING):
+                    self._send_decision(record)
+            else:
+                for shard in shards:
+                    if shard in record.shards and shard not in record.commit_acks:
+                        self.coordinator.record_commit_ack(
+                            record.tx_id, shard, now=self.runtime.now)
+                if record.phase is DistributedTxPhase.DONE:
+                    self._finish(record)
+
+    # -------------------------------------------------------------- queries
+    def status(self, tx_id: str) -> Optional[DistributedTxRecord]:
+        return self.coordinator.records.get(tx_id)
+
+    async def balance(self, key: str, timeout: float = 5.0) -> Any:
+        shard = self.shard_of(key)
+        if shard in self._down:
+            raise ShardDown(f"shard {shard} is down: {self._down[shard]}")
+        query_id = next(self._query_counter)
+        future = self.runtime.loop.create_future()
+        self._balance_waiters[query_id] = future
+        try:
+            self._send_frame(shard, KIND_BALANCE_QUERY,
+                             {"query_id": query_id, "key": key})
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._balance_waiters.pop(query_id, None)
+
+    def _on_balance_reply(self, payload: Dict[str, Any]) -> None:
+        future = self._balance_waiters.get(payload["query_id"])
+        if future is not None and not future.done():
+            future.set_result(payload["value"])
+
+
+# --------------------------------------------------------------------- HTTP
+def record_json(record: DistributedTxRecord) -> Dict[str, Any]:
+    return {
+        "tx_id": record.tx_id,
+        "outcome": record.outcome.value,
+        "phase": record.phase.value,
+        "shards": list(record.shards),
+        "abort_reason": record.abort_reason,
+        "latency": record.latency,
+    }
+
+
+class GatewayHttp:
+    """A minimal HTTP/1.1 JSON server in front of a :class:`GatewayService`."""
+
+    def __init__(self, service: GatewayService, host: str = "127.0.0.1",
+                 port: int = 8080, wait_timeout: float = 30.0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.wait_timeout = wait_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------- plumbing
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, query, body = request
+                status, payload, extra = await self._route(method, path, query, body)
+                await self._respond(writer, status, payload, extra)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            body = await reader.readexactly(length)
+        path, _, query_string = target.partition("?")
+        query: Dict[str, str] = {}
+        for pair in query_string.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        return method.upper(), path, query, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, Any],
+                       extra_headers: Optional[Dict[str, str]] = None) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable",
+                   504: "Gateway Timeout"}
+        body = json.dumps(payload).encode()
+        lines = [f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -------------------------------------------------------------- routing
+    async def _route(self, method: str, path: str, query: Dict[str, str],
+                     body: bytes):
+        try:
+            if method == "POST" and path == "/tx":
+                return await self._post_tx(query, body)
+            if method == "GET" and path.startswith("/tx/"):
+                return self._get_tx(path[len("/tx/"):])
+            if method == "GET" and path.startswith("/balance/"):
+                return await self._get_balance(path[len("/balance/"):])
+            if method == "GET" and path == "/health":
+                return 200, self.service.health(), None
+            return 404, {"error": f"no route for {method} {path}"}, None
+        except GatewayError as exc:
+            extra = ({"Retry-After": str(exc.retry_after)}
+                     if exc.retry_after is not None else None)
+            return exc.status, {"error": str(exc)}, extra
+        except asyncio.TimeoutError:
+            return 504, {"error": "timed out waiting for the transaction"}, None
+
+    async def _post_tx(self, query: Dict[str, str], body: bytes):
+        try:
+            request = json.loads(body.decode() or "{}")
+            function = request["function"]
+            args = request.get("args", {})
+        except (ValueError, KeyError) as exc:
+            raise BadTransaction(f"malformed body: {exc}") from exc
+        if not isinstance(args, dict):
+            raise BadTransaction("args must be an object")
+        tx = self.service.build_transaction(
+            function, args, client_id=str(request.get("client_id", "http")))
+        wait = query.get("wait") in ("1", "true")
+        record, future = self.service.submit_transaction(tx, wait=wait)
+        if not wait:
+            return 202, {"tx_id": tx.tx_id, "outcome": record.outcome.value,
+                         "shards": list(record.shards)}, None
+        timeout = float(query.get("timeout", self.wait_timeout))
+        record = await asyncio.wait_for(future, timeout)
+        return 200, record_json(record), None
+
+    def _get_tx(self, tx_id: str):
+        record = self.service.status(tx_id)
+        if record is None:
+            return 404, {"error": f"unknown transaction {tx_id}"}, None
+        return 200, record_json(record), None
+
+    async def _get_balance(self, key: str):
+        value = await self.service.balance(key)
+        return 200, {"key": key, "balance": value}, None

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 from repro.errors import NetworkError
+from repro.runtime.base import Runtime, as_runtime
 from repro.sim.latency import LatencyModel, LanLatencyModel
 from repro.sim.simulator import Simulator
 
@@ -98,16 +99,19 @@ class Network:
     Parameters
     ----------
     sim:
-        The owning simulator.
+        The owning scheduler — a :class:`Simulator` or any
+        :class:`~repro.runtime.base.Runtime`.  Under a wall-clock runtime the
+        modelled latencies become real ``call_later`` delays and the cohort
+        merge fast path disables itself (``is_last_scheduled`` is ``False``).
     latency_model:
         Converts (source region, destination region, size) into a delay.
     drop_rate:
         Probability that any given message is silently lost.
     """
 
-    def __init__(self, sim: Simulator, latency_model: Optional[LatencyModel] = None,
+    def __init__(self, sim: "Simulator | Runtime", latency_model: Optional[LatencyModel] = None,
                  drop_rate: float = 0.0) -> None:
-        self.sim = sim
+        self.runtime = as_runtime(sim)
         self.latency_model = latency_model or LanLatencyModel()
         self.drop_rate = drop_rate
         self.stats = NetworkStats()
@@ -118,7 +122,7 @@ class Network:
         self._departed: Set[int] = set()
         self._partition: Optional[Dict[int, int]] = None
         self._msg_counter = itertools.count()
-        self._rng = sim.fork_rng("network")
+        self._rng = self.runtime.fork_rng("network")
         #: Most recent delivery cohort: (dst, delivery_time, event, messages).
         self._last_cohort: Optional[Tuple[int, float, Any, list]] = None
 
@@ -202,7 +206,7 @@ class Network:
         """Record the send and return the delivery delay, or None if dropped."""
         message.sender = src
         message.recipient = dst
-        message.sent_at = self.sim.now
+        message.sent_at = self.runtime.now
         message.msg_id = next(self._msg_counter)
         self.stats.record_send(message)
         if not self._link_ok(src, dst):
@@ -226,7 +230,7 @@ class Network:
         delay = self._admit(src, dst, message)
         if delay is None:
             return
-        delivery_time = self.sim.now + delay
+        delivery_time = self.runtime.now + delay
         cohort = self._last_cohort
         if cohort is not None:
             last_dst, last_time, event, messages = cohort
@@ -234,11 +238,11 @@ class Network:
             # scheduler AND still pending: then appending is exactly
             # equivalent to scheduling a fresh event right after it.
             if (last_dst == dst and last_time == delivery_time
-                    and self.sim.is_last_scheduled(event)):
+                    and self.runtime.is_last_scheduled(event)):
                 messages.append(message)
                 return
         messages = [message]
-        event = self.sim.schedule(delay, self._deliver_batch, messages)
+        event = self.runtime.schedule(delay, self._deliver_batch, messages)
         self._last_cohort = (dst, delivery_time, event, messages)
 
     def broadcast(self, src: int, dst_ids: Iterable[int], message: Message) -> None:
@@ -276,8 +280,8 @@ class Network:
                 continue
             cohorts.setdefault(delay, []).append(copy)
         for delay, messages in cohorts.items():
-            event = self.sim.schedule(delay, self._deliver_batch, messages)
-            self._last_cohort = (messages[-1].recipient, self.sim.now + delay,
+            event = self.runtime.schedule(delay, self._deliver_batch, messages)
+            self._last_cohort = (messages[-1].recipient, self.runtime.now + delay,
                                  event, messages)
         if unknown is not None:
             raise NetworkError(f"cannot send to unknown node {unknown}")

@@ -15,8 +15,9 @@ throughput results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
+from repro.runtime.base import Runtime, as_runtime
 from repro.sim.network import CONSENSUS_CHANNEL, Message, Network, REQUEST_CHANNEL
 from repro.sim.simulator import Simulator
 
@@ -43,7 +44,12 @@ class SimProcess:
     node_id:
         Unique integer identifier.
     sim / network:
-        Simulation substrate.  The node registers itself with the network.
+        Scheduling substrate — a :class:`Simulator` or any
+        :class:`~repro.runtime.base.Runtime` — and the message transport.
+        The node registers itself with the network.  All timing goes through
+        ``self.runtime``; ``self.sim`` remains available (the underlying
+        simulator, or ``None`` under a wall-clock runtime) for sim-only
+        harness code.
     region:
         Region label used by WAN latency models.
     queue_capacity:
@@ -54,11 +60,11 @@ class SimProcess:
         are queued separately so requests cannot crowd out consensus traffic.
     """
 
-    def __init__(self, node_id: int, sim: Simulator, network: Network,
+    def __init__(self, node_id: int, sim: Union[Simulator, Runtime], network: Network,
                  region: str = "local", queue_capacity: Optional[int] = None,
                  separate_queues: bool = False) -> None:
         self.node_id = node_id
-        self.sim = sim
+        self.runtime = as_runtime(sim)
         self.network = network
         self.region = region
         self.queue_capacity = queue_capacity
@@ -79,6 +85,15 @@ class SimProcess:
         #: ids are >= 0, so the two ranges cannot collide.
         self._local_request_key = -2
         network.register(self, region=region)
+
+    @property
+    def sim(self) -> Optional[Simulator]:
+        """The underlying simulator (``None`` under a wall-clock runtime).
+
+        Protocol code must use ``self.runtime``; this exists for sim-only
+        harnesses and tests that drive the simulator directly.
+        """
+        return self.runtime.simulator
 
     # ----------------------------------------------------------------- queues
     def _channel_key(self, message: Message) -> str:
@@ -136,16 +151,16 @@ class SimProcess:
         Work is serialised: if the CPU is already busy, the new work starts
         when the current work finishes.  Returns the completion time.
         """
-        start = max(self.sim.now, self._cpu_free_at)
+        start = max(self.runtime.now, self._cpu_free_at)
         finish = start + max(cost, 0.0)
         self._cpu_free_at = finish
         self.stats.cpu_busy_seconds += max(cost, 0.0)
-        self.sim.schedule_at(finish, fn, *args)
+        self.runtime.schedule_at(finish, fn, *args)
         return finish
 
     def cpu_idle_at(self) -> float:
         """Time at which the CPU becomes free."""
-        return max(self._cpu_free_at, self.sim.now)
+        return max(self._cpu_free_at, self.runtime.now)
 
     # ------------------------------------------------------------- overrides
     def message_cost(self, message: Message) -> float:

@@ -17,6 +17,18 @@ pure bookkeeping — the actual message flow is driven by
 unit tests.  It also supports the *trusted coordinator* mode (no reference
 committee), which is what the paper's "w/o R" configurations measure.
 
+Runtime neutrality
+------------------
+The coordinator sits *below* the runtime seam on purpose: it never schedules
+anything and never reads a clock.  Every transition takes an explicit
+``now=`` timestamp and deadlines are plain data (``prepare_deadline``)
+checked by whoever drives the flow — the simulated system passes
+``runtime.now`` from a :class:`~repro.runtime.sim.SimRuntime`, and the
+wall-clock service gateway (:mod:`repro.service.gateway`) passes the same
+from an :class:`~repro.runtime.wallclock.AsyncioRuntime`.  That is what lets
+the identical 2PC state machine back both the simulation and the live HTTP
+service.
+
 Fault behaviour
 ---------------
 Shard votes are **idempotent-or-rejected**: a repeated identical vote is a

@@ -9,10 +9,11 @@ produces such a stream for either benchmark and reports the realised mix.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, TextIO
 
 from repro.errors import WorkloadError
 from repro.ledger.transaction import Transaction
@@ -103,6 +104,8 @@ class WorkloadGenerator:
         self.vector_batch = vector_batch
         self._payment_buffer: List[tuple] = []
         self._buffer_pos = 0
+        self._record_fh: Optional[TextIO] = None
+        self._record_seq = 0
         if benchmark == "kvstore":
             self._workload = KVStoreWorkload(
                 num_keys=num_keys, updates_per_transaction=3,
@@ -129,7 +132,50 @@ class WorkloadGenerator:
             tx = self._workload.next_transaction(client_id=client_id, now=now)
         shards = [shard_of_key(key, self.num_shards) for key in tx.keys]
         self.mix.record(shards)
+        if self._record_fh is not None:
+            self._record_fh.write(json.dumps({
+                "seq": self._record_seq, "function": tx.function,
+                "args": tx.args, "client_id": tx.client_id,
+            }, sort_keys=True) + "\n")
+            self._record_seq += 1
         return tx
+
+    # -------------------------------------------------------- record / replay
+    def start_recording(self, path: str) -> None:
+        """Log every subsequent :meth:`next_transaction` draw to ``path``.
+
+        The file is JSON-lines: a header row with the generator's spec
+        (benchmark, shard count, key space, seed) followed by one
+        ``{seq, function, args, client_id}`` row per transaction.  Entries
+        capture the chaincode *invocation*, not the materialised
+        ``Transaction`` — tx ids come from a process-global counter, so a
+        replay mints fresh ids but performs the identical state transitions.
+        This is the bridge of the sim-vs-service differential oracle: the
+        exact stream a simulated run consumed can be re-submitted through the
+        HTTP gateway (see :meth:`replay` and ``repro.service.client``).
+        """
+        if self._record_fh is not None:
+            raise WorkloadError("already recording")
+        self._record_fh = open(path, "w", encoding="utf-8")
+        self._record_seq = 0
+        self._record_fh.write(json.dumps({
+            "benchmark": self.benchmark, "num_shards": self.num_shards,
+            "num_keys": self.num_keys, "seed": self.seed,
+            "zipf_coefficient": self.zipf_coefficient,
+        }, sort_keys=True) + "\n")
+
+    def stop_recording(self) -> int:
+        """Close the recording file; returns the number of entries written."""
+        if self._record_fh is None:
+            raise WorkloadError("not recording")
+        self._record_fh.close()
+        self._record_fh = None
+        return self._record_seq
+
+    @classmethod
+    def replay(cls, path: str) -> "WorkloadReplay":
+        """Load a stream recorded by :meth:`start_recording` for re-submission."""
+        return WorkloadReplay(path)
 
     def next_transaction_for_shard(self, shard_id: int, client_id: str = "client",
                                    now: float = 0.0) -> Transaction:
@@ -214,3 +260,77 @@ class WorkloadGenerator:
         def factory(client_id: str, now: float, rng, count: int) -> List[Transaction]:
             return self.batch(count, client_id=client_id, now=now)
         return factory
+
+
+class WorkloadReplay:
+    """A recorded transaction stream, re-playable in any runtime.
+
+    Built by :meth:`WorkloadGenerator.replay`.  ``entries`` holds the raw
+    ``{seq, function, args, client_id}`` rows (what an HTTP client POSTs to
+    the gateway); :meth:`next_transaction` re-materialises them through the
+    benchmark's chaincode for in-process submission, preserving the
+    :class:`WorkloadGenerator` interface (``populate``, ``chaincode``,
+    ``stream``) so a replay can stand in for a live generator.
+    """
+
+    def __init__(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            raise WorkloadError(f"empty workload recording {path!r}")
+        header = json.loads(lines[0])
+        for field_name in ("benchmark", "num_shards", "num_keys", "seed"):
+            if field_name not in header:
+                raise WorkloadError(f"recording {path!r} is missing header field "
+                                    f"{field_name!r}")
+        self.benchmark: str = header["benchmark"]
+        self.num_shards: int = header["num_shards"]
+        self.num_keys: int = header["num_keys"]
+        self.seed: int = header["seed"]
+        self.zipf_coefficient: float = header.get("zipf_coefficient", 0.0)
+        self.entries: List[Dict[str, Any]] = [json.loads(line) for line in lines[1:]]
+        self._cursor = 0
+        self.mix = WorkloadMix()
+        # The same underlying workload the recording generator used, rebuilt
+        # from the header spec — needed for populate() (initial balances) and
+        # the chaincode that re-materialises entries.
+        self._source = WorkloadGenerator(
+            benchmark=self.benchmark, num_shards=self.num_shards,
+            zipf_coefficient=self.zipf_coefficient, num_keys=self.num_keys,
+            seed=self.seed)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def chaincode(self):
+        return self._source.chaincode
+
+    def populate(self, state) -> None:
+        self._source.populate(state)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.entries)
+
+    def rewind(self) -> None:
+        self._cursor = 0
+
+    def next_transaction(self, client_id: Optional[str] = None,
+                         now: float = 0.0) -> Transaction:
+        """Materialise the next recorded entry (fresh tx id, identical effect)."""
+        if self.exhausted:
+            raise WorkloadError("replay exhausted")
+        entry = self.entries[self._cursor]
+        self._cursor += 1
+        tx = self.chaincode.new_transaction(
+            entry["function"], entry["args"],
+            client_id=client_id if client_id is not None else entry["client_id"],
+            submitted_at=now)
+        self.mix.record([shard_of_key(key, self.num_shards) for key in tx.keys])
+        return tx
+
+    def stream(self, client_id: Optional[str] = None,
+               now: float = 0.0) -> Iterator[Transaction]:
+        while not self.exhausted:
+            yield self.next_transaction(client_id=client_id, now=now)

@@ -1,0 +1,103 @@
+"""Subprocess harness for service-mode tests: boot ``repro-serve``, talk HTTP.
+
+Not a test module — shared by ``test_service_differential.py`` and
+``test_service_shutdown.py`` (and mirrored by ``benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import ServiceClient
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+class ServeProcess:
+    """A running ``repro-serve`` cluster as a context manager."""
+
+    def __init__(self, shards: int = 2, committee: int = 4, protocol: str = "AHL",
+                 seed: int = 0, benchmark: str = "smallbank", num_keys: int = 50,
+                 max_inflight: int = 256, boot_timeout: float = 90.0,
+                 extra_args: Optional[List[str]] = None) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + (os.pathsep + env["PYTHONPATH"]
+                                    if env.get("PYTHONPATH") else "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.serve",
+             "--shards", str(shards), "--committee", str(committee),
+             "--protocol", protocol, "--seed", str(seed),
+             "--benchmark", benchmark, "--num-keys", str(num_keys),
+             "--max-inflight", str(max_inflight), "--port", "0",
+             *(extra_args or [])],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+        self.ready = self._read_event(boot_timeout)
+        if self.ready.get("event") != "ready":
+            raise RuntimeError(f"serve failed to boot: {self.ready}")
+        self.client = ServiceClient(self.ready["endpoint"])
+
+    # ---------------------------------------------------------------- stdout
+    def _read_event(self, timeout: float) -> Dict[str, Any]:
+        """Read one JSON event line from stdout, bounded by ``timeout``."""
+        assert self.proc.stdout is not None
+        selector = selectors.DefaultSelector()
+        selector.register(self.proc.stdout, selectors.EVENT_READ)
+        deadline = time.monotonic() + timeout
+        line = ""
+        while time.monotonic() < deadline:
+            if not selector.select(timeout=0.2):
+                if self.proc.poll() is not None:
+                    break
+                continue
+            line = self.proc.stdout.readline()
+            if line:
+                return json.loads(line)
+            break
+        stderr = ""
+        if self.proc.poll() is not None and self.proc.stderr is not None:
+            stderr = self.proc.stderr.read()
+        raise TimeoutError(
+            f"no stdout event within {timeout}s (exit={self.proc.poll()}); "
+            f"stderr tail: {stderr[-2000:]}")
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def shard_pids(self) -> List[int]:
+        return list(self.ready.get("shard_pids", []))
+
+    def kill_shard(self, index: int) -> None:
+        os.kill(self.shard_pids[index], signal.SIGKILL)
+
+    def sigterm(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait_exit(self, timeout: float = 60.0):
+        """Wait for exit; returns (returncode, stdout_rest, stderr)."""
+        out, err = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, out, err
+
+    def __enter__(self) -> "ServeProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+        # A SIGKILLed parent cannot reap its daemon shard processes, and
+        # they hold the inherited stdout pipe open — kill them too or
+        # ``communicate`` below never sees EOF.
+        for pid in self.shard_pids:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        try:
+            self.proc.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()

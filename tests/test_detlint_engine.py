@@ -155,6 +155,41 @@ def test_strict_escalates_experiments_scope(tmp_path):
     assert [f.rule_id for f in escalated.findings] == ["DET001"]
 
 
+def test_service_scope_carves_wallclock_out_of_the_strict_tree(tmp_path):
+    """The runtime seam's scope split, pinned path by path.
+
+    The seam itself (Runtime protocol, SimRuntime) is deterministic
+    substrate — strict.  Its wall-clock half and the service package exist
+    to read the real clock, so DET001 is off there *even under --strict* —
+    but every other determinism rule still applies.
+    """
+    from repro.analysis.policy import scope_name
+
+    assert scope_name("src/repro/runtime/base.py") == "strict"
+    assert scope_name("src/repro/runtime/sim.py") == "strict"
+    assert scope_name("src/repro/runtime/wallclock.py") == "service"
+    assert scope_name("src/repro/service/gateway.py") == "service"
+    assert scope_name("src/repro/service/socketnet.py") == "service"
+    assert scope_name("src/repro/consensus/base.py") == "strict"
+    assert scope_name("src/repro/sim/network.py") == "strict"
+
+    service_file = "src/repro/service/gateway.py"
+    assert not DEFAULT_POLICY.rule_enabled("DET001", service_file, strict=True)
+    for still_on in ("DET002", "DET003", "DET004"):
+        assert DEFAULT_POLICY.rule_enabled(still_on, service_file, strict=True)
+    assert DEFAULT_POLICY.rule_enabled("DET001", "src/repro/runtime/sim.py",
+                                       strict=False)
+
+    # End to end: identical wall-clock code flags in the seam's sim half,
+    # stays silent in its service half.
+    flagged = analyze_tmp(tmp_path, DIRTY, name="src/repro/runtime/sim_extra.py",
+                          policy=DEFAULT_POLICY)
+    assert [f.rule_id for f in flagged.findings] == ["DET001"]
+    silent = analyze_tmp(tmp_path, DIRTY, name="src/repro/service/gw.py",
+                         policy=DEFAULT_POLICY)
+    assert not silent.findings
+
+
 def test_ignore_scope_skips_fixture_dirs(tmp_path):
     report = analyze_tmp(tmp_path, DIRTY, name="x/detlint_fixtures/mod.py",
                          policy=DEFAULT_POLICY)

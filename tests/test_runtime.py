@@ -1,0 +1,141 @@
+"""The runtime seam: SimRuntime delegates byte-for-byte, AsyncioRuntime
+honours the same contract on a real clock, and the unchanged consensus
+stack commits through either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.consensus.cluster import ConsensusCluster, NoopChaincode
+from repro.errors import SimulationError
+from repro.runtime import AsyncioRuntime, SimRuntime, as_runtime
+from repro.runtime.base import derive_label_rng
+from repro.sim.simulator import Simulator
+
+
+class TestSimRuntime:
+    def test_as_runtime_wraps_and_caches(self):
+        sim = Simulator(seed=1)
+        runtime = as_runtime(sim)
+        assert isinstance(runtime, SimRuntime)
+        assert as_runtime(sim) is runtime          # cached adapter
+        assert as_runtime(runtime) is runtime      # already a Runtime
+        assert runtime.simulator is sim
+        assert runtime.is_simulated is True
+
+    def test_delegation_is_byte_identical(self):
+        """The adapter and the raw simulator produce the same event stream."""
+        def drive(target, sim, spawn):
+            fired = []
+            handle = target.schedule(2.0, fired.append, "late")
+            target.schedule(1.0, fired.append, "early")
+            spawn(fired.append, "now")
+            target.cancel(handle) if hasattr(target, "cancel") else handle.cancel()
+            assert target.is_last_scheduled(handle) is False
+            sim.run(until=10.0)
+            return fired, target.fork_rng("label").random()
+
+        sim_a = Simulator(seed=9)
+        runtime_a = as_runtime(sim_a)
+        sim_b = Simulator(seed=9)
+        via_runtime = drive(runtime_a, sim_a, runtime_a.spawn)
+        # spawn is "schedule at zero delay" by contract
+        direct = drive(sim_b, sim_b,
+                       lambda cb, *args: sim_b.schedule(0.0, cb, *args))
+        assert via_runtime == direct
+        assert sim_a.now == sim_b.now
+
+    def test_fork_rng_parity_across_runtimes(self):
+        """Same seed + label sequence -> identical streams on both clocks."""
+        sim_runtime = as_runtime(Simulator(seed=5))
+
+        async def forked():
+            wall = AsyncioRuntime(seed=5)
+            return [wall.fork_rng("network").random(),
+                    wall.fork_rng("client-3").random(),
+                    wall.fork_rng("network").random()]  # second fork: #1
+
+        wall_draws = asyncio.run(forked())
+        sim_draws = [sim_runtime.fork_rng("network").random(),
+                     sim_runtime.fork_rng("client-3").random(),
+                     sim_runtime.fork_rng("network").random()]
+        assert wall_draws == sim_draws
+        assert derive_label_rng(5, "network", 0).random() == sim_draws[0]
+        # Distinct labels and fork counts give distinct streams.
+        assert len(set(sim_draws)) == 3
+
+    def test_fork_rng_matches_simulator_derivation(self):
+        assert (derive_label_rng(7, "x", 0).random()
+                == random.Random("7:x").random())
+        assert (derive_label_rng(7, "x", 2).random()
+                == random.Random("7:x#2").random())
+
+
+class TestAsyncioRuntime:
+    def test_contract_on_a_real_loop(self):
+        async def scenario():
+            runtime = AsyncioRuntime(seed=0)
+            assert runtime.is_simulated is False
+            assert runtime.simulator is None
+            start = runtime.now
+            assert start < 0.25  # epoch-rebased clock starts near zero
+
+            fired = []
+            handle = runtime.schedule(0.01, fired.append, "scheduled")
+            cancelled = runtime.schedule(0.01, fired.append, "cancelled")
+            runtime.cancel(cancelled)
+            runtime.spawn(fired.append, "spawned")
+            runtime.schedule_at(runtime.now - 5.0, fired.append, "past-clamped")
+            assert runtime.is_last_scheduled(handle) is False
+            with pytest.raises(SimulationError):
+                runtime.schedule(-0.1, fired.append, "negative")
+            await asyncio.sleep(0.1)
+            assert runtime.now > start
+            return fired
+
+        fired = asyncio.run(scenario())
+        assert "spawned" in fired and "scheduled" in fired
+        assert "past-clamped" in fired
+        assert "cancelled" not in fired
+
+    def test_consensus_commits_on_the_wall_clock(self):
+        """The unchanged cluster + Network reach commit on AsyncioRuntime."""
+        async def scenario():
+            runtime = AsyncioRuntime(seed=4)
+            cluster = ConsensusCluster(protocol="AHL", n=4, runtime=runtime,
+                                       config_overrides={"batch_size": 4})
+            assert cluster.sim is None
+            committed = asyncio.get_running_loop().create_future()
+
+            def on_commit(event):
+                if not committed.done():
+                    committed.set_result(event)
+
+            cluster.subscribe_commits(on_commit)
+            chaincode = NoopChaincode()
+            txs = [chaincode.new_transaction("write", {"keys": (f"k{i}",),
+                                                       "value": i})
+                   for i in range(4)]
+            cluster.submit(txs)
+            event = await asyncio.wait_for(committed, timeout=30.0)
+            return event, cluster
+
+        event, cluster = asyncio.run(scenario())
+        assert len(event.receipts) == 4
+        assert all(receipt.ok for receipt in event.receipts)
+        observer = cluster.honest_observer()
+        assert observer.state.get("k2") == 2
+
+    def test_run_requires_the_simulated_runtime(self):
+        async def scenario():
+            cluster = ConsensusCluster(protocol="AHL", n=4,
+                                       runtime=AsyncioRuntime(seed=0))
+            from repro.errors import ConfigurationError
+            with pytest.raises(ConfigurationError):
+                cluster.run(1.0)
+
+        asyncio.run(scenario())

@@ -191,3 +191,62 @@ class TestWorkloadGenerator:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(WorkloadError):
             WorkloadGenerator(benchmark="tpcc")
+
+
+class TestRecordReplay:
+    """Satellite of the service PR: a recorded stream replays identically."""
+
+    def _record(self, tmp_path, count=12, **kwargs):
+        path = tmp_path / "stream.jsonl"
+        generator = WorkloadGenerator(seed=kwargs.pop("seed", 3), **kwargs)
+        generator.start_recording(str(path))
+        recorded = [generator.next_transaction(client_id=f"c{i % 2}")
+                    for i in range(count)]
+        assert generator.stop_recording() == count
+        return path, recorded
+
+    def test_replay_rematerializes_the_same_invocations(self, tmp_path):
+        path, recorded = self._record(tmp_path, benchmark="smallbank",
+                                      num_shards=2, num_keys=40)
+        replay = WorkloadGenerator.replay(str(path))
+        assert len(replay) == len(recorded)
+        replayed = [replay.next_transaction() for _ in range(len(replay))]
+        assert replay.exhausted
+        # Fresh tx ids, identical invocations (the differential contract).
+        for original, copy in zip(recorded, replayed):
+            assert copy.function == original.function
+            assert copy.args == original.args
+            assert copy.client_id == original.client_id
+            assert copy.keys == original.keys
+            assert copy.tx_id != original.tx_id
+
+    def test_replay_header_round_trips_the_generator_spec(self, tmp_path):
+        path, _ = self._record(tmp_path, benchmark="kvstore", num_shards=4,
+                               num_keys=300, zipf_coefficient=0.8)
+        replay = WorkloadGenerator.replay(str(path))
+        assert (replay.benchmark, replay.num_shards, replay.num_keys,
+                replay.zipf_coefficient) == ("kvstore", 4, 300, 0.8)
+        assert replay.chaincode.name == "kvstore"
+        replay.next_transaction()
+        replay.rewind()
+        assert not replay.exhausted
+
+    def test_replay_of_missing_or_empty_recording_fails_loudly(self, tmp_path):
+        with pytest.raises((WorkloadError, OSError)):
+            WorkloadGenerator.replay(str(tmp_path / "nope.jsonl"))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator.replay(str(empty))
+
+    def test_recording_does_not_perturb_the_stream(self, tmp_path):
+        """Recording is observation only: the generated stream is unchanged."""
+        plain = WorkloadGenerator(benchmark="smallbank", num_shards=2,
+                                  num_keys=40, seed=9)
+        silent = [plain.next_transaction() for _ in range(8)]
+        taped = WorkloadGenerator(benchmark="smallbank", num_shards=2,
+                                  num_keys=40, seed=9)
+        taped.start_recording(str(tmp_path / "t.jsonl"))
+        recorded = [taped.next_transaction() for _ in range(8)]
+        taped.stop_recording()
+        assert [t.args for t in silent] == [t.args for t in recorded]
